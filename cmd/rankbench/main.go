@@ -1,0 +1,69 @@
+// Command rankbench regenerates the tables and figures of the thesis'
+// evaluation chapters.
+//
+// Usage:
+//
+//	rankbench -list                 # enumerate experiments
+//	rankbench -exp fig3.4           # run one experiment
+//	rankbench -exp fig3.4,fig4.12   # run several
+//	rankbench -all                  # run everything
+//	rankbench -all -scale 0.05      # smaller datasets (default 0.1× thesis)
+//	rankbench -all -queries 20      # queries averaged per point (default 10)
+//
+// Output is one aligned table per experiment, with the same series the
+// thesis plots. Absolute numbers depend on hardware and scale; the shapes
+// are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rankcube/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "", "comma-separated experiment ids to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.Float64("scale", 0.1, "dataset scale relative to the thesis row counts")
+		queries = flag.Int("queries", 10, "random queries averaged per data point")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var ids []string
+	switch {
+	case *all:
+		ids = bench.IDs()
+	case *exp != "":
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rankbench: pass -exp <id>[,<id>…], -all, or -list")
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rankbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(experiment wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

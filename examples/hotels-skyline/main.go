@@ -1,0 +1,92 @@
+// Skyline hotel search with boolean predicates (thesis chapter 7): find the
+// hotels not dominated on (price, distance-to-beach) among those matching
+// amenity filters, then drill down and roll up like an OLAP session.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rankcube"
+)
+
+func main() {
+	districts := []string{"downtown", "beachfront", "airport", "old-town"}
+	rel := rankcube.NewRelation(
+		[]string{"district", "stars", "breakfast", "wifi"},
+		[]int{len(districts), 5, 2, 2},
+		[]string{"price", "beach_dist"},
+	)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40000; i++ {
+		district := rng.Intn(len(districts))
+		stars := rng.Intn(5)
+		// Beachfront hotels are close to the beach but pricey.
+		var price, dist float64
+		if district == 1 {
+			price = 0.5 + 0.5*rng.Float64()
+			dist = 0.2 * rng.Float64()
+		} else {
+			price = rng.Float64() * (0.4 + 0.15*float64(stars))
+			dist = 0.2 + 0.8*rng.Float64()
+		}
+		rel.Append(
+			[]int32{int32(district), int32(stars), int32(rng.Intn(2)), int32(rng.Intn(2))},
+			[]float64{price, dist},
+		)
+	}
+
+	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
+	eng := rankcube.NewSkylineEngine(cube)
+
+	// Skyline of hotels with breakfast: minimize price and beach distance
+	// simultaneously.
+	metrics := rankcube.NewMetrics()
+	sky, snap, err := eng.Skyline(rankcube.Cond{2: 1}, []int{0, 1}, nil, metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skyline with breakfast: %d non-dominated hotels [%s]\n", len(sky), metrics)
+	show(rel, districts, sky, 8)
+
+	// Drill down: additionally require wifi — answered from the previous
+	// query's candidate basis, not from scratch.
+	metrics = rankcube.NewMetrics()
+	sky2, snap2, err := eng.DrillDown(snap, rankcube.Cond{3: 1}, metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndrill-down (+wifi): %d hotels [%s]\n", len(sky2), metrics)
+	show(rel, districts, sky2, 5)
+
+	// Roll up: drop the wifi requirement again, seeded by the previous
+	// skyline.
+	sky3, _, err := eng.RollUp(snap2, []int{3}, rankcube.NewMetrics())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroll-up (−wifi): %d hotels\n", len(sky3))
+
+	// Dynamic skyline: closest to a $120/night, 500 m-from-beach ideal
+	// (preference space |price−0.3|, |dist−0.1|).
+	dyn, _, err := eng.Skyline(rankcube.Cond{2: 1}, []int{0, 1},
+		[]float64{0.3, 0.1}, rankcube.NewMetrics())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndynamic skyline around the ideal: %d hotels\n", len(dyn))
+	show(rel, districts, dyn, 5)
+}
+
+func show(rel *rankcube.Relation, districts []string, sky []rankcube.SkylineResult, limit int) {
+	for i, r := range sky {
+		if i == limit {
+			fmt.Printf("  … and %d more\n", len(sky)-limit)
+			break
+		}
+		fmt.Printf("  hotel #%-6d %-10s %d★ price=%.2f beach=%.2f\n",
+			r.TID, districts[rel.Sel(r.TID, 0)], rel.Sel(r.TID, 1)+1,
+			rel.Rank(r.TID, 0), rel.Rank(r.TID, 1))
+	}
+}

@@ -1,0 +1,95 @@
+// Multi-dimensional data analysis (thesis Example 2): a notebook-comparison
+// catalog where an analyst evaluates market potential with a scoring
+// function, drills into a segment, then rolls up to compare against the
+// whole market — OLAP navigation over ranked results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rankcube"
+)
+
+var brands = []string{"dell", "lenovo", "apple", "asus", "hp"}
+var priceBands = []string{"<$800", "$800-1200", "$1200-2000", ">$2000"}
+
+func main() {
+	// Schema (brand, price_band | cpu, memory, disk): the analyst's scoring
+	// function f is formulated on cpu/memory/disk; brand and price band are
+	// selection dimensions.
+	rel := rankcube.NewRelation(
+		[]string{"brand", "price_band"},
+		[]int{len(brands), len(priceBands)},
+		[]string{"cpu", "memory", "disk"},
+	)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50000; i++ {
+		brand := rng.Intn(len(brands))
+		band := rng.Intn(len(priceBands))
+		// Better specs correlate with higher price bands.
+		quality := (float64(band) + rng.Float64()) / float64(len(priceBands))
+		rel.Append(
+			[]int32{int32(brand), int32(band)},
+			[]float64{
+				clamp(quality + 0.1*rng.NormFloat64()),
+				clamp(quality + 0.15*rng.NormFloat64()),
+				clamp(quality + 0.2*rng.NormFloat64()),
+			},
+		)
+	}
+	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{
+		// Materialize the atomic cuboids plus the (brand, price_band)
+		// cuboid the analysis drills through.
+		Cuboids: [][]int{{0}, {1}, {0, 1}},
+	})
+
+	// "Market potential" is minimized — negate spec quality so better
+	// notebooks rank first.
+	potential := rankcube.Linear([]int{0, 1, 2}, []float64{-0.5, -0.3, -0.2})
+
+	// Step 1: top-5 dell low-end notebooks.
+	res, err := cube.TopK(rankcube.Cond{0: 0, 1: 0}, potential, 5, rankcube.NewMetrics())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 dell notebooks under $800 by market potential:")
+	show(rel, res)
+
+	// Step 2: roll up on brand — the same segment across all makers.
+	res, err = cube.TopK(rankcube.Cond{1: 0}, potential, 5, rankcube.NewMetrics())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-5 under-$800 notebooks across all brands:")
+	show(rel, res)
+
+	// Count how many of the overall winners are dell: the analyst's
+	// "position of dell in the low-end market".
+	dell := 0
+	for _, r := range res {
+		if rel.Sel(r.TID, 0) == 0 {
+			dell++
+		}
+	}
+	fmt.Printf("\ndell holds %d of the top 5 low-end slots\n", dell)
+}
+
+func show(rel *rankcube.Relation, res []rankcube.Result) {
+	for i, r := range res {
+		fmt.Printf("  %d. #%-6d brand=%-7s cpu=%.2f mem=%.2f disk=%.2f (score %.3f)\n",
+			i+1, r.TID, brands[rel.Sel(r.TID, 0)],
+			rel.Rank(r.TID, 0), rel.Rank(r.TID, 1), rel.Rank(r.TID, 2), r.Score)
+	}
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

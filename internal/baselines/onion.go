@@ -1,0 +1,150 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/pager"
+	"rankcube/internal/ranking"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Onion is the layered convex-hull index of Chang et al., reviewed as
+// rank-aware materialization related work in thesis §2.1.1: tuples are
+// peeled into nested convex-hull layers so any linear top-k query is
+// answered from at most k layers. Two ranking dimensions, as in the thesis'
+// illustrations. Its weakness — no awareness of multi-dimensional
+// selections, so selective predicates force deep scans — is exactly what
+// the ranking cube fixes; the ext.onion experiment shows the contrast.
+type Onion struct {
+	t      *table.Table
+	dims   [2]int
+	layers [][]table.TID
+	pages  []pager.PageID
+	store  *pager.Store
+}
+
+// NewOnion peels the relation's tuples (projected onto two ranking
+// dimensions) into convex-hull layers. Construction is O(layers · n log n);
+// intended for baseline comparison, not bulk use.
+func NewOnion(t *table.Table, dimX, dimY int, pageSize int) *Onion {
+	o := &Onion{
+		t:     t,
+		dims:  [2]int{dimX, dimY},
+		store: pager.NewStore(stats.StructBTree, pageSize),
+	}
+	type pt struct {
+		x, y float64
+		tid  table.TID
+	}
+	remaining := make([]pt, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		tid := table.TID(i)
+		remaining[i] = pt{x: t.Rank(tid, dimX), y: t.Rank(tid, dimY), tid: tid}
+	}
+	sort.Slice(remaining, func(a, b int) bool {
+		if remaining[a].x != remaining[b].x {
+			return remaining[a].x < remaining[b].x
+		}
+		return remaining[a].y < remaining[b].y
+	})
+	for len(remaining) > 0 {
+		hull := convexHullIdx(len(remaining), func(i int) (float64, float64) {
+			return remaining[i].x, remaining[i].y
+		})
+		layer := make([]table.TID, 0, len(hull))
+		inHull := make([]bool, len(remaining))
+		for _, i := range hull {
+			inHull[i] = true
+			layer = append(layer, remaining[i].tid)
+		}
+		o.layers = append(o.layers, layer)
+		o.pages = append(o.pages, o.store.AppendLogical(len(layer)*20))
+		next := remaining[:0]
+		for i, p := range remaining {
+			if !inHull[i] {
+				next = append(next, p)
+			}
+		}
+		remaining = next
+	}
+	return o
+}
+
+// convexHullIdx computes hull vertex indices over points sorted by (x, y)
+// with Andrew's monotone chain. Collinear boundary points are kept so
+// peeling terminates on degenerate inputs.
+func convexHullIdx(n int, at func(int) (float64, float64)) []int {
+	if n <= 2 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	cross := func(o, a, b int) float64 {
+		ox, oy := at(o)
+		ax, ay := at(a)
+		bx, by := at(b)
+		return (ax-ox)*(by-oy) - (ay-oy)*(bx-ox)
+	}
+	var lower, upper []int
+	for i := 0; i < n; i++ {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], i) < 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], i) < 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, i)
+	}
+	seen := make(map[int]bool, len(lower)+len(upper))
+	out := make([]int, 0, len(lower)+len(upper))
+	for _, i := range append(lower[:len(lower)-1], upper[:len(upper)-1]...) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumLayers reports the peeling depth.
+func (o *Onion) NumLayers() int { return len(o.layers) }
+
+// TopK answers a linear top-k query. Layers are read outermost first; the
+// scan stops once the current layer's unconditioned minimum cannot beat the
+// kth matching score (hull nesting makes that minimum a lower bound for all
+// deeper tuples). Selective conditions defeat the layering and force deep
+// scans — the behaviour the thesis contrasts against.
+func (o *Onion) TopK(cond core.Cond, f ranking.Func, k int, ctr *stats.Counters) []core.Result {
+	// The layer-minimum stop bound relies on linearity (extrema of linear
+	// functions sit on hull vertices); other functions scan every layer.
+	_, linear := f.(*ranking.LinearFunc)
+	topk := heap.NewBounded[core.Result](k, core.WorseResult)
+	buf := make([]float64, o.t.Schema().R())
+	for li, layer := range o.layers {
+		o.store.Touch(o.pages[li], ctr)
+		layerMin := math.Inf(1)
+		for _, tid := range layer {
+			score := f.Eval(o.t.RankRow(tid, buf))
+			if score < layerMin {
+				layerMin = score
+			}
+			if math.IsInf(score, 1) || !o.t.Matches(tid, cond) {
+				continue
+			}
+			topk.Offer(core.Result{TID: tid, Score: score})
+		}
+		if linear && topk.Full() && topk.Worst().Score <= layerMin {
+			break
+		}
+	}
+	return topk.Sorted()
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes the whole registry at minimal scale and
+// validates report structure: every series has points at every sweep
+// position and non-negative values.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	cfg := Config{Scale: 0.002, Queries: 2, Seed: 1}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Fatalf("report id %q", rep.ID)
+			}
+			if len(rep.Series) == 0 {
+				t.Fatal("no series")
+			}
+			n := len(rep.Series[0].Points)
+			if n == 0 {
+				t.Fatal("no points")
+			}
+			for _, s := range rep.Series {
+				if len(s.Points) != n {
+					t.Fatalf("series %s has %d points, first series %d", s.Name, len(s.Points), n)
+				}
+				for _, p := range s.Points {
+					if p.Value < 0 {
+						t.Fatalf("series %s point %s negative: %v", s.Name, p.X, p.Value)
+					}
+					if p.X == "" {
+						t.Fatalf("series %s has unlabeled point", s.Name)
+					}
+				}
+			}
+			if !strings.Contains(rep.String(), rep.Title) {
+				t.Fatal("String() missing title")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99.9", Config{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Scale != 0.1 || c.Queries != 10 || c.Seed != 1 || c.ReadCostMS != 0.1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	raw := Config{ReadCostMS: -1}.Defaults()
+	if raw.ReadCostMS != 0 {
+		t.Fatalf("negative read cost not zeroed: %v", raw.ReadCostMS)
+	}
+	if (Config{}).T(3_000_000) < 1000 {
+		t.Fatal("scaled T below floor")
+	}
+	if (Config{Scale: 0.1}).T(3_000_000) != 300_000 {
+		t.Fatalf("T scaling wrong: %d", (Config{Scale: 0.1}).T(3_000_000))
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		1234:   "1234",
+		150.25: "150.2",
+		0.1234: "0.123",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Fatalf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+
+	"rankcube/internal/baselines"
+	"rankcube/internal/core"
+	"rankcube/internal/dataset"
+	"rankcube/internal/gridcube"
+	"rankcube/internal/gridtree"
+	"rankcube/internal/ranking"
+	"rankcube/internal/sigcube"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Ablation experiments for the thesis' discussion-section extensions, which
+// have no figures of their own: tid-list compression (§3.6.3), lossy bloom
+// signatures (§4.5), and the Onion layered index reviewed as related work
+// (§2.1.1).
+
+func init() {
+	register("ext.idlist", extIDList)
+	register("ext.bloom", extBloom)
+	register("ext.onion", extOnion)
+	register("ext.gridpart", extGridPart)
+}
+
+// extIDList: grid-cube space and query time with and without delta
+// compression of the cell tid lists.
+func extIDList(cfg Config) *Report {
+	tb := dataset.Synthetic(cfg.T(3_000_000), 3, 2, 20, table.Uniform, cfg.Seed)
+	plain := gridcube.Build(tb, gridcube.Config{})
+	packed := gridcube.Build(tb, gridcube.Config{CompressLists: true})
+	rep := &Report{ID: "ext.idlist", Title: "ID List Compression (§3.6.3 ablation)",
+		XLabel: "metric", Metric: "see row",
+		Notes: []string{"space in MB; time in ms/query (k=10, 2 conditions)"}}
+	queries := ch3Workload(cfg.rng(1), tb, cfg.Queries, 2, 2, 1, 10)
+	measure := func(cube *gridcube.Cube) measurement {
+		return run(cfg, len(queries), func(qi int, ctr *stats.Counters) {
+			q := queries[qi]
+			if _, err := cube.TopK(gridcube.Query{Cond: q.cond, F: q.f, K: q.k}, ctr); err != nil {
+				panic(err)
+			}
+		})
+	}
+	mb := func(v int64) float64 { return float64(v) / (1 << 20) }
+	rep.Series = []Series{
+		{Name: "plain", Points: []Point{
+			{X: "space", Value: mb(plain.SizeBytes())},
+			{X: "time", Value: measure(plain).ms()},
+		}},
+		{Name: "compressed", Points: []Point{
+			{X: "space", Value: mb(packed.SizeBytes())},
+			{X: "time", Value: measure(packed).ms()},
+		}},
+	}
+	return rep
+}
+
+// extBloom: exact signatures vs lossy bloom signatures — measure size,
+// query time, and verification overhead.
+func extBloom(cfg Config) *Report {
+	tb := dataset.Synthetic(cfg.T(1_000_000), 3, 3, 100, table.Uniform, cfg.Seed)
+	exact := sigcube.Build(tb, sigcube.Config{})
+	lossy := sigcube.Build(tb, sigcube.Config{LossySignatures: true})
+	rep := &Report{ID: "ext.bloom", Title: "Lossy Bloom Signatures (§4.5 ablation)",
+		XLabel: "metric", Metric: "see row",
+		Notes: []string{"space in MB; time in ms/query; verify = table random accesses/query"}}
+	rng := cfg.rng(3)
+	conds := make([]core.Cond, cfg.Queries)
+	for i := range conds {
+		conds[i] = core.Cond{rng.Intn(3): int32(rng.Intn(100))}
+	}
+	f := ranking.SqDist([]int{0, 1, 2}, []float64{0.4, 0.5, 0.6})
+	measure := func(cube *sigcube.Cube) measurement {
+		return run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
+			if _, err := cube.TopK(conds[qi], f, 20, ctr); err != nil {
+				panic(err)
+			}
+		})
+	}
+	mb := func(v int64) float64 { return float64(v) / (1 << 20) }
+	me, ml := measure(exact), measure(lossy)
+	rep.Series = []Series{
+		{Name: "exact", Points: []Point{
+			{X: "space", Value: mb(exact.SizeBytes())},
+			{X: "time", Value: me.ms()},
+			{X: "verify", Value: me.avgReads(stats.StructTable)},
+		}},
+		{Name: "bloom", Points: []Point{
+			{X: "space", Value: mb(lossy.SizeBytes())},
+			{X: "time", Value: ml.ms()},
+			{X: "verify", Value: ml.avgReads(stats.StructTable)},
+		}},
+	}
+	return rep
+}
+
+// extOnion: the Onion layered index vs the ranking cube, with and without
+// selective predicates — the motivating contrast of thesis §2.1.1.
+func extOnion(cfg Config) *Report {
+	// Onion peeling is expensive; cap the dataset.
+	n := cfg.T(300_000)
+	if n > 30_000 {
+		n = 30_000
+	}
+	tb := dataset.Synthetic(n, 2, 2, 20, table.Uniform, cfg.Seed)
+	onion := baselines.NewOnion(tb, 0, 1, 0)
+	cube := gridcube.Build(tb, gridcube.Config{})
+	rep := &Report{ID: "ext.onion", Title: "Onion Index vs Ranking Cube (§2.1.1)",
+		XLabel: "query", Metric: "ms/query",
+		Notes: []string{fmt.Sprintf("T=%d; Onion peeled %d layers", n, onion.NumLayers())}}
+	workloads := []struct {
+		name string
+		cond core.Cond
+	}{
+		{"no-selection", core.Cond{}},
+		{"1-condition", core.Cond{0: 1}},
+		{"2-conditions", core.Cond{0: 1, 1: 2}},
+	}
+	var onionS, cubeS Series
+	onionS.Name, cubeS.Name = "onion", "ranking-cube"
+	for _, w := range workloads {
+		rng := cfg.rng(int64(len(w.name)))
+		f := func() ranking.Func {
+			return ranking.Linear([]int{0, 1}, []float64{rng.Float64() + 0.1, rng.Float64() + 0.1})
+		}
+		m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
+			onion.TopK(w.cond, f(), 10, ctr)
+		})
+		onionS.Points = append(onionS.Points, Point{X: w.name, Value: m.ms()})
+		m = run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
+			if _, err := cube.TopK(gridcube.Query{Cond: w.cond, F: f(), K: 10}, ctr); err != nil {
+				panic(err)
+			}
+		})
+		cubeS.Points = append(cubeS.Points, Point{X: w.name, Value: m.ms()})
+	}
+	rep.Series = []Series{onionS, cubeS}
+	return rep
+}
+
+// extGridPart: the §4.1.2 partition-scheme comparison — the signature cube
+// over a merged-grid hierarchy vs over an R-tree, on uniform and skewed
+// (correlated) data. The thesis predicts the grid suffers on skewed data
+// because of dead cells while the hierarchical partition stays robust.
+func extGridPart(cfg Config) *Report {
+	rep := &Report{ID: "ext.gridpart", Title: "Grid vs Hierarchical Partition (§4.1.2)",
+		XLabel: "data", Metric: "ms/query"}
+	var gridS, rtreeS Series
+	gridS.Name, rtreeS.Name = "grid-partition", "rtree-partition"
+	for _, dist := range []table.Distribution{table.Uniform, table.Correlated} {
+		tb := dataset.Synthetic(cfg.T(1_000_000), 3, 2, 50, dist, cfg.Seed)
+		dom := ranking.UnitBox(2)
+		grid := gridtree.Build(tb, []int{0, 1}, dom, gridtree.Config{})
+		cubeGrid := sigcube.BuildOnTree(tb, grid, sigcube.Config{})
+		cubeRTree := sigcube.Build(tb, sigcube.Config{})
+		rng := cfg.rng(int64(dist))
+		conds := make([]core.Cond, cfg.Queries)
+		funcs := make([]ranking.Func, cfg.Queries)
+		for i := range conds {
+			conds[i] = core.Cond{rng.Intn(3): int32(rng.Intn(50))}
+			funcs[i] = ranking.SqDist([]int{0, 1}, []float64{rng.Float64(), rng.Float64()})
+		}
+		x := dist.String()
+		m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
+			if _, err := cubeGrid.TopK(conds[qi], funcs[qi], 20, ctr); err != nil {
+				panic(err)
+			}
+		})
+		gridS.Points = append(gridS.Points, Point{X: x, Value: m.ms()})
+		m = run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
+			if _, err := cubeRTree.TopK(conds[qi], funcs[qi], 20, ctr); err != nil {
+				panic(err)
+			}
+		})
+		rtreeS.Points = append(rtreeS.Points, Point{X: x, Value: m.ms()})
+	}
+	rep.Series = []Series{gridS, rtreeS}
+	return rep
+}

@@ -1,0 +1,208 @@
+// Package bitvec provides bit arrays, a bit-granular reader/writer, and the
+// node-level signature codecs of thesis §4.2.2: baseline (BL), run-length
+// (RL), position-index (PI) and prefix-compression (PC) coding, each with
+// dense and sparse variants, selected adaptively per node.
+package bitvec
+
+import "math/bits"
+
+// Bits is a growable bit array.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// NewBits returns a zeroed bit array of length n.
+func NewBits(n int) *Bits {
+	return &Bits{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the number of bits.
+func (b *Bits) Len() int { return b.n }
+
+// Get reports bit i.
+func (b *Bits) Get(i int) bool {
+	return b.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Set sets bit i to v.
+func (b *Bits) Set(i int, v bool) {
+	if v {
+		b.words[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		b.words[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Ones reports the number of set bits.
+func (b *Bits) Ones() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OnesPositions returns the indices of all set bits, ascending.
+func (b *Bits) OnesPositions() []int {
+	out := make([]int, 0, b.Ones())
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LastOne returns the index of the highest set bit, or -1 when none.
+func (b *Bits) LastOne() int {
+	for i := b.n - 1; i >= 0; i-- {
+		if b.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// LastZero returns the index of the highest clear bit, or -1 when none.
+func (b *Bits) LastZero() int {
+	for i := b.n - 1; i >= 0; i-- {
+		if !b.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Or sets b to b | o. Lengths must match.
+func (b *Bits) Or(o *Bits) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// And sets b to b & o. Lengths must match.
+func (b *Bits) And(o *Bits) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Any reports whether any bit is set.
+func (b *Bits) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (b *Bits) Clone() *Bits {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bits{words: w, n: b.n}
+}
+
+// Equal reports whether two bit arrays have identical length and contents.
+func (b *Bits) Equal(o *Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the bits as a 0/1 string, low index first.
+func (b *Bits) String() string {
+	out := make([]byte, b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// Writer appends bit fields to a byte buffer, LSB-first within each field.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBits appends the low width bits of v.
+func (w *Writer) WriteBits(v uint64, width int) {
+	for i := 0; i < width; i++ {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v&(1<<uint(i)) != 0 {
+			w.buf[w.nbit/8] |= 1 << (uint(w.nbit) % 8)
+		}
+		w.nbit++
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(v bool) {
+	if v {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// Len reports the number of bits written.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the encoded buffer (the final byte may be partially used).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes bit fields from a byte buffer written by Writer.
+type Reader struct {
+	buf []byte
+	pos int
+}
+
+// NewReader reads from buf starting at bit offset 0.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits consumes width bits and returns them as an integer (LSB-first).
+func (r *Reader) ReadBits(width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if r.buf[r.pos/8]&(1<<(uint(r.pos)%8)) != 0 {
+			v |= 1 << uint(i)
+		}
+		r.pos++
+	}
+	return v
+}
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() bool { return r.ReadBits(1) == 1 }
+
+// Pos reports the current bit offset.
+func (r *Reader) Pos() int { return r.pos }
+
+// Seek sets the bit offset.
+func (r *Reader) Seek(pos int) { r.pos = pos }
+
+// Remaining reports how many bits remain.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// BitsFor returns the number of bits needed to represent values in [0, n)
+// (at least 1).
+func BitsFor(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,227 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Get/Set mismatch")
+	}
+	if b.Ones() != 3 {
+		t.Fatalf("Ones = %d", b.Ones())
+	}
+	if b.LastOne() != 129 {
+		t.Fatalf("LastOne = %d", b.LastOne())
+	}
+	pos := b.OnesPositions()
+	if len(pos) != 3 || pos[0] != 0 || pos[1] != 64 || pos[2] != 129 {
+		t.Fatalf("OnesPositions = %v", pos)
+	}
+	b.Set(64, false)
+	if b.Ones() != 2 {
+		t.Fatalf("Ones after clear = %d", b.Ones())
+	}
+}
+
+func TestBitsOrAndClone(t *testing.T) {
+	a := NewBits(10)
+	b := NewBits(10)
+	a.Set(1, true)
+	a.Set(3, true)
+	b.Set(3, true)
+	b.Set(5, true)
+	c := a.Clone()
+	c.Or(b)
+	if c.String() != "0101010000" {
+		t.Fatalf("Or = %s", c.String())
+	}
+	d := a.Clone()
+	d.And(b)
+	if d.String() != "0001000000" {
+		t.Fatalf("And = %s", d.String())
+	}
+	if !a.Any() || NewBits(4).Any() {
+		t.Fatal("Any mismatch")
+	}
+	if !a.Equal(a.Clone()) || a.Equal(b) {
+		t.Fatal("Equal mismatch")
+	}
+}
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBit(true)
+	w.WriteBits(1023, 10)
+	w.WriteBits(0, 3)
+	w.WriteBits(0xDEADBEEF, 32)
+	r := NewReader(w.Bytes())
+	if r.ReadBits(4) != 0b1011 {
+		t.Fatal("4-bit field mismatch")
+	}
+	if !r.ReadBit() {
+		t.Fatal("bit mismatch")
+	}
+	if r.ReadBits(10) != 1023 {
+		t.Fatal("10-bit field mismatch")
+	}
+	if r.ReadBits(3) != 0 {
+		t.Fatal("3-bit field mismatch")
+	}
+	if r.ReadBits(32) != 0xDEADBEEF {
+		t.Fatal("32-bit field mismatch")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 204: 8, 256: 8, 257: 9}
+	for n, want := range cases {
+		if got := BitsFor(n); got != want {
+			t.Fatalf("BitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// roundtrip encodes b under every scheme that fits and checks decoding
+// restores it exactly.
+func roundtrip(t *testing.T, c *Codec, b *Bits) {
+	t.Helper()
+	for _, scheme := range allSchemes {
+		if _, ok := c.regionBits(b, scheme); !ok {
+			continue
+		}
+		var w Writer
+		c.EncodeWith(&w, b, scheme)
+		got := c.Decode(NewReader(w.Bytes()))
+		if !got.Equal(b) {
+			t.Fatalf("%s roundtrip: got %s want %s", SchemeName(scheme), got, b)
+		}
+	}
+	// Adaptive path.
+	var w Writer
+	c.Encode(&w, b)
+	got := c.Decode(NewReader(w.Bytes()))
+	if !got.Equal(b) {
+		t.Fatalf("adaptive roundtrip: got %s want %s", got, b)
+	}
+}
+
+func TestCodecRoundtripHandPicked(t *testing.T) {
+	c := NewCodec(32)
+	patterns := []string{
+		"1",
+		"0",
+		"10",
+		"01",
+		"11111111",
+		"00000000",
+		"10000000000000000000000000000001",
+		"01101011",
+		"11111111111111110000000000000000",
+		"00000000000000001111111111111111",
+		"10101010101010101010101010101010",
+	}
+	for _, p := range patterns {
+		b := NewBits(len(p))
+		for i, ch := range p {
+			b.Set(i, ch == '1')
+		}
+		roundtrip(t, c, b)
+	}
+}
+
+func TestCodecRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{8, 32, 204} {
+		c := NewCodec(m)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(m)
+			b := NewBits(n)
+			density := rng.Float64()
+			for i := 0; i < n; i++ {
+				b.Set(i, rng.Float64() < density)
+			}
+			roundtrip(t, c, b)
+		}
+	}
+}
+
+func TestCodecQuickProperty(t *testing.T) {
+	c := NewCodec(64)
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := len(raw)
+		if n > 64 {
+			n = 64
+		}
+		b := NewBits(n)
+		for i := 0; i < n; i++ {
+			b.Set(i, raw[i]&1 == 1)
+		}
+		var w Writer
+		c.Encode(&w, b)
+		return c.Decode(NewReader(w.Bytes())).Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecMultipleNodesInStream(t *testing.T) {
+	c := NewCodec(16)
+	arrays := []*Bits{NewBits(5), NewBits(16), NewBits(1)}
+	arrays[0].Set(2, true)
+	for i := 0; i < 16; i += 2 {
+		arrays[1].Set(i, true)
+	}
+	arrays[2].Set(0, true)
+	var w Writer
+	for _, b := range arrays {
+		c.Encode(&w, b)
+	}
+	r := NewReader(w.Bytes())
+	for i, b := range arrays {
+		got := c.Decode(r)
+		if !got.Equal(b) {
+			t.Fatalf("node %d: got %s want %s", i, got, b)
+		}
+	}
+}
+
+func TestAdaptiveBeatsBaselineOnSparse(t *testing.T) {
+	// A very sparse wide array should compress below the BL size.
+	c := NewCodec(204)
+	b := NewBits(204)
+	b.Set(3, true)
+	adaptive := c.EncodedBits(b)
+	var w Writer
+	c.EncodeBaseline(&w, b)
+	baseline := w.Len()
+	if adaptive >= baseline {
+		t.Fatalf("adaptive %d bits, baseline %d bits: no gain on sparse array", adaptive, baseline)
+	}
+}
+
+func TestGammaRoundtrip(t *testing.T) {
+	c := NewCodec(16)
+	for i := 0; i <= 300; i++ {
+		var w Writer
+		c.writeGamma(&w, i)
+		if got := w.Len(); got != gammaBits(i) {
+			t.Fatalf("gammaBits(%d) = %d, wrote %d", i, gammaBits(i), got)
+		}
+		r := NewReader(w.Bytes())
+		if got := c.readGamma(r); got != i {
+			t.Fatalf("gamma roundtrip %d -> %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package bitvec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Coding schemes for signature nodes (thesis Table 4.2 / §4.2.2). The 3-bit
+// CS header uses 000 for the baseline coding; otherwise the first two bits
+// select the method (01 PI, 10 RL, 11 PC) and the last bit selects sparse
+// (0, encode the 1s) or dense (1, encode the 0s).
+const (
+	SchemeBL       = 0b000
+	SchemePISparse = 0b010
+	SchemePIDense  = 0b011
+	SchemeRLSparse = 0b100
+	SchemeRLDense  = 0b101
+	SchemePCSparse = 0b110
+	SchemePCDense  = 0b111
+)
+
+// SchemeName renders a scheme id for diagnostics.
+func SchemeName(s int) string {
+	switch s {
+	case SchemeBL:
+		return "BL"
+	case SchemePISparse:
+		return "PI/sparse"
+	case SchemePIDense:
+		return "PI/dense"
+	case SchemeRLSparse:
+		return "RL/sparse"
+	case SchemeRLDense:
+		return "RL/dense"
+	case SchemePCSparse:
+		return "PC/sparse"
+	case SchemePCDense:
+		return "PC/dense"
+	default:
+		return fmt.Sprintf("scheme(%d)", s)
+	}
+}
+
+var allSchemes = []int{
+	SchemeBL,
+	SchemePISparse, SchemePIDense,
+	SchemeRLSparse, SchemeRLDense,
+	SchemePCSparse, SchemePCDense,
+}
+
+// Codec encodes and decodes signature-node bit arrays whose length is at
+// most M (the maximum node fanout). A node encoding is
+//
+//	[CS: 3 bits][Len: lenBits][coding region: Len+1 bits]
+//
+// following the unified coding structure of thesis fig. 4.4 (Len uses
+// one-less coding). Every coding region begins with the array length b−1 in
+// ceil(log2 M) bits so decoders can restore truncated trailing bits.
+//
+// Deviation from the thesis' run-length description: run values i are coded
+// as Elias-γ of i+1 (unary length prefix in 1s, 0 terminator, then the
+// remaining low bits) because the thesis' ⌈log2(i+1)⌉-bit scheme cannot
+// represent a zero-length run unambiguously.
+type Codec struct {
+	m       int
+	nbits   int // position width: bits to address [0, M)
+	lenBits int // width of the Len field
+}
+
+// NewCodec returns a codec for node arrays of length at most m (m ≥ 2).
+func NewCodec(m int) *Codec {
+	if m < 2 {
+		panic("bitvec: codec fanout must be >= 2")
+	}
+	nbits := BitsFor(m)
+	// Coding regions are capped at nbits + 2m bits; BL (nbits + b ≤ nbits+m)
+	// always fits, so adaptive selection can always fall back.
+	regionCap := nbits + 2*m
+	return &Codec{m: m, nbits: nbits, lenBits: BitsFor(regionCap + 1)}
+}
+
+// M reports the maximum array length.
+func (c *Codec) M() int { return c.m }
+
+// HeaderBits reports the fixed per-node overhead (CS + Len fields).
+func (c *Codec) HeaderBits() int { return 3 + c.lenBits }
+
+func (c *Codec) regionCap() int { return c.nbits + 2*c.m }
+
+// Encode writes b with the scheme yielding the smallest region ("adaptively
+// choose the best coding scheme", §4.2.2) and returns the scheme used.
+func (c *Codec) Encode(w *Writer, b *Bits) int {
+	best, bestBits := SchemeBL, math.MaxInt
+	for _, s := range allSchemes {
+		if n, ok := c.regionBits(b, s); ok && n < bestBits {
+			best, bestBits = s, n
+		}
+	}
+	c.EncodeWith(w, b, best)
+	return best
+}
+
+// EncodeBaseline writes b with the baseline scheme only (the "Baseline"
+// series of thesis fig. 4.10).
+func (c *Codec) EncodeBaseline(w *Writer, b *Bits) { c.EncodeWith(w, b, SchemeBL) }
+
+// EncodedBits reports the total encoded size in bits (header + region) of b
+// under adaptive selection, without writing.
+func (c *Codec) EncodedBits(b *Bits) int {
+	bestBits := math.MaxInt
+	for _, s := range allSchemes {
+		if n, ok := c.regionBits(b, s); ok && n < bestBits {
+			bestBits = n
+		}
+	}
+	return c.HeaderBits() + bestBits
+}
+
+// EncodeWith writes b under an explicit scheme. It panics if the region
+// exceeds the codec's cap (callers select schemes via Encode).
+func (c *Codec) EncodeWith(w *Writer, b *Bits, scheme int) {
+	n, ok := c.regionBits(b, scheme)
+	if !ok {
+		panic(fmt.Sprintf("bitvec: %s region for %d-bit array exceeds cap", SchemeName(scheme), b.Len()))
+	}
+	w.WriteBits(uint64(scheme), 3)
+	w.WriteBits(uint64(n-1), c.lenBits)
+	start := w.Len()
+	c.writeRegion(w, b, scheme)
+	if w.Len()-start != n {
+		panic(fmt.Sprintf("bitvec: %s region size mismatch: wrote %d want %d", SchemeName(scheme), w.Len()-start, n))
+	}
+}
+
+// Decode reads one node array.
+func (c *Codec) Decode(r *Reader) *Bits {
+	scheme := int(r.ReadBits(3))
+	region := int(r.ReadBits(c.lenBits)) + 1
+	end := r.Pos() + region
+	blen := int(r.ReadBits(c.nbits)) + 1
+	out := NewBits(blen)
+	dense := scheme&1 == 1
+	switch scheme {
+	case SchemeBL:
+		for i := 0; i < blen; i++ {
+			out.Set(i, r.ReadBit())
+		}
+	case SchemePISparse, SchemePIDense:
+		for r.Pos() < end {
+			pos := int(r.ReadBits(c.nbits))
+			out.Set(pos, true)
+		}
+		if dense {
+			c.complement(out)
+		}
+	case SchemeRLSparse, SchemeRLDense:
+		i := 0
+		for r.Pos() < end {
+			run := c.readGamma(r)
+			i += run
+			out.Set(i, true)
+			i++
+		}
+		if dense {
+			c.complement(out)
+		}
+	case SchemePCSparse, SchemePCDense:
+		p := c.prefixBits()
+		sbits := c.nbits - p
+		for r.Pos() < end {
+			prefix := int(r.ReadBits(p))
+			count := int(r.ReadBits(sbits)) + 1
+			for j := 0; j < count; j++ {
+				suffix := int(r.ReadBits(sbits))
+				out.Set(prefix<<uint(sbits)|suffix, true)
+			}
+		}
+		if dense {
+			c.complement(out)
+		}
+	default:
+		panic(fmt.Sprintf("bitvec: unknown scheme %d", scheme))
+	}
+	if r.Pos() != end {
+		r.Seek(end)
+	}
+	return out
+}
+
+// complement flips every bit in place (dense decodings mark 0 positions).
+func (c *Codec) complement(b *Bits) {
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, !b.Get(i))
+	}
+}
+
+// regionBits computes the coding-region size of b under scheme, and whether
+// it fits the cap.
+func (c *Codec) regionBits(b *Bits, scheme int) (int, bool) {
+	if b.Len() > c.m || b.Len() == 0 {
+		return 0, false
+	}
+	n := c.nbits // every region carries b-1
+	dense := scheme&1 == 1
+	switch scheme {
+	case SchemeBL:
+		n += b.Len()
+	case SchemePISparse, SchemePIDense:
+		n += c.count(b, dense) * c.nbits
+	case SchemeRLSparse, SchemeRLDense:
+		n += c.runBits(b, dense)
+	case SchemePCSparse, SchemePCDense:
+		n += c.pcBits(b, dense)
+	}
+	if n > c.regionCap() {
+		return 0, false
+	}
+	return n, true
+}
+
+func (c *Codec) writeRegion(w *Writer, b *Bits, scheme int) {
+	w.WriteBits(uint64(b.Len()-1), c.nbits)
+	dense := scheme&1 == 1
+	switch scheme {
+	case SchemeBL:
+		for i := 0; i < b.Len(); i++ {
+			w.WriteBit(b.Get(i))
+		}
+	case SchemePISparse, SchemePIDense:
+		for _, pos := range c.positions(b, dense) {
+			w.WriteBits(uint64(pos), c.nbits)
+		}
+	case SchemeRLSparse, SchemeRLDense:
+		prev := -1
+		for _, pos := range c.positions(b, dense) {
+			c.writeGamma(w, pos-prev-1)
+			prev = pos
+		}
+	case SchemePCSparse, SchemePCDense:
+		p := c.prefixBits()
+		sbits := c.nbits - p
+		positions := c.positions(b, dense)
+		for i := 0; i < len(positions); {
+			prefix := positions[i] >> uint(sbits)
+			j := i
+			for j < len(positions) && positions[j]>>uint(sbits) == prefix {
+				j++
+			}
+			w.WriteBits(uint64(prefix), p)
+			w.WriteBits(uint64(j-i-1), sbits)
+			for ; i < j; i++ {
+				w.WriteBits(uint64(positions[i]&(1<<uint(sbits)-1)), sbits)
+			}
+		}
+	}
+}
+
+// positions lists marked positions: the 1s (sparse) or the 0s (dense).
+func (c *Codec) positions(b *Bits, dense bool) []int {
+	out := make([]int, 0, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		if b.Get(i) != dense {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (c *Codec) count(b *Bits, dense bool) int {
+	if dense {
+		return b.Len() - b.Ones()
+	}
+	return b.Ones()
+}
+
+// runBits sizes the RL payload: Elias-γ of (gap+1) per marked position.
+func (c *Codec) runBits(b *Bits, dense bool) int {
+	total := 0
+	prev := -1
+	for _, pos := range c.positions(b, dense) {
+		total += gammaBits(pos - prev - 1)
+		prev = pos
+	}
+	return total
+}
+
+// pcBits sizes the PC payload.
+func (c *Codec) pcBits(b *Bits, dense bool) int {
+	p := c.prefixBits()
+	sbits := c.nbits - p
+	positions := c.positions(b, dense)
+	total := 0
+	for i := 0; i < len(positions); {
+		prefix := positions[i] >> uint(sbits)
+		j := i
+		for j < len(positions) && positions[j]>>uint(sbits) == prefix {
+			j++
+		}
+		total += p + sbits + (j-i)*sbits
+		i = j
+	}
+	return total
+}
+
+// prefixBits computes the PC prefix length p = log2(2^n / (n ln 2)) (thesis
+// §4.2.2, from [31]), clamped to keep both prefix and suffix non-empty.
+func (c *Codec) prefixBits() int {
+	n := float64(c.nbits)
+	p := int(math.Round(math.Log2(math.Exp2(n) / (n * math.Ln2))))
+	if p < 1 {
+		p = 1
+	}
+	if p > c.nbits-1 {
+		p = c.nbits - 1
+	}
+	return p
+}
+
+// writeGamma emits run value i ≥ 0 as Elias-γ of g = i+1: (len(g)−1) 1s, a
+// 0 terminator, then the low len(g)−1 bits of g.
+func (c *Codec) writeGamma(w *Writer, i int) {
+	g := uint(i + 1)
+	l := bits.Len(g)
+	for k := 0; k < l-1; k++ {
+		w.WriteBit(true)
+	}
+	w.WriteBit(false)
+	w.WriteBits(uint64(g)&(1<<uint(l-1)-1), l-1)
+}
+
+// readGamma reads one run value.
+func (c *Codec) readGamma(r *Reader) int {
+	l := 1
+	for r.ReadBit() {
+		l++
+	}
+	low := r.ReadBits(l - 1)
+	g := uint64(1)<<uint(l-1) | low
+	return int(g) - 1
+}
+
+// gammaBits sizes writeGamma's output.
+func gammaBits(i int) int {
+	g := uint(i + 1)
+	l := bits.Len(g)
+	return 2*l - 1
+}

@@ -1,0 +1,45 @@
+// Package core holds the pieces of the ranking-cube framework shared by its
+// two implementations (thesis §4.1.1): the grid partition with neighborhood
+// search (internal/gridcube) and the hierarchical partition with top-down
+// search (internal/sigcube), plus the baselines and extensions built around
+// them. The unified framework is: (1) a rank-aware data partition P, (2) a
+// per-predicate measure M(P|B) telling which partitions contain satisfying
+// tuples, and (3) a progressive search S that retrieves a partition only
+// when it may beat the current top-k and M marks it non-empty.
+package core
+
+import "rankcube/internal/table"
+
+// Result is one scored tuple of a top-k answer, ascending scores preferred.
+type Result struct {
+	TID   table.TID
+	Score float64
+}
+
+// WorseResult orders results for bounded top-k heaps: higher score is worse;
+// ties break toward higher tid so results are deterministic.
+func WorseResult(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.TID > b.TID
+}
+
+// Cond is a conjunctive multi-dimensional selection: selection-dimension
+// position → required value. It is the boolean predicate B of the thesis'
+// query model (§1.2.1).
+type Cond map[int]int32
+
+// Dims lists the constrained dimensions in ascending order.
+func (c Cond) Dims() []int {
+	out := make([]int, 0, len(c))
+	for d := range c {
+		out = append(out, d)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

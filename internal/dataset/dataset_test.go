@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"testing"
+
+	"rankcube/internal/table"
+)
+
+func TestForestCoverProfile(t *testing.T) {
+	tb := ForestCover(3000, 1)
+	s := tb.Schema()
+	if s.S() != 12 {
+		t.Fatalf("S = %d", s.S())
+	}
+	for i, c := range ForestCoverCards {
+		if s.SelCard[i] != c {
+			t.Fatalf("card[%d] = %d, want %d", i, s.SelCard[i], c)
+		}
+	}
+	if s.R() != 3 {
+		t.Fatalf("R = %d", s.R())
+	}
+	// Values in range; binary dims mostly 0 (sparse flags).
+	ones := 0
+	for i := 0; i < tb.Len(); i++ {
+		tid := table.TID(i)
+		for d := 0; d < 12; d++ {
+			v := tb.Sel(tid, d)
+			if v < 0 || int(v) >= s.SelCard[d] {
+				t.Fatalf("sel value %d out of range on dim %d", v, d)
+			}
+		}
+		if tb.Sel(tid, 5) == 1 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / float64(tb.Len()); frac > 0.3 {
+		t.Fatalf("binary flag density %.2f, expected sparse", frac)
+	}
+}
+
+func TestForestCoverDeterministic(t *testing.T) {
+	a := ForestCover(500, 7)
+	b := ForestCover(500, 7)
+	for i := 0; i < 500; i++ {
+		if a.Rank(table.TID(i), 0) != b.Rank(table.TID(i), 0) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestForestCoverCorrelated(t *testing.T) {
+	tb := ForestCover(20000, 2)
+	// The latent factor should induce positive correlation between the
+	// quantitative columns.
+	var sx, sy, sxy, sxx, syy float64
+	n := float64(tb.Len())
+	for i := 0; i < tb.Len(); i++ {
+		x := tb.Rank(table.TID(i), 0)
+		y := tb.Rank(table.TID(i), 1)
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+		syy += y * y
+	}
+	cov := sxy/n - sx/n*sy/n
+	if cov <= 0 {
+		t.Fatalf("covariance %v not positive", cov)
+	}
+}
+
+func TestForestCoverWide(t *testing.T) {
+	tb := ForestCoverWide(1000, 3)
+	if tb.Schema().R() != 6 {
+		t.Fatalf("R = %d", tb.Schema().R())
+	}
+	if tb.Len() != 1000 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestJoinPair(t *testing.T) {
+	r1, r2, k1, k2 := JoinPair(1000, 2, 2, 5, 50, 9)
+	if r1.Len() != 1000 || r2.Len() != 1000 {
+		t.Fatal("wrong sizes")
+	}
+	if len(k1) != 1000 || len(k2) != 1000 {
+		t.Fatal("wrong key lengths")
+	}
+	for _, k := range k1 {
+		if k < 0 || k >= 50 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	tb := Synthetic(2000, 3, 2, 10, table.AntiCorrelated, 4)
+	if tb.Len() != 2000 || tb.Schema().S() != 3 || tb.Schema().R() != 2 {
+		t.Fatal("wrong shape")
+	}
+}

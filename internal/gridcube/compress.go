@@ -1,0 +1,54 @@
+package gridcube
+
+import (
+	"encoding/binary"
+
+	"rankcube/internal/table"
+)
+
+// Cell-list compression (thesis §3.6.3): tids within a cell are stored
+// ascending, so the list compresses well as varint-encoded deltas ("store a
+// list of tid difference instead of the actual numbers... it may be
+// possible to store them using less than the standard 32 bits"). Bids ride
+// along as varints of their delta from the cell's pseudo-block base, which
+// is small because a cell only contains blocks of one pseudo block.
+//
+// Compression changes the pages a cell occupies (fewer blocks to read per
+// ranked query) at the price of decode work; the ext.idlist experiment
+// quantifies the trade-off.
+
+// encodeEntries delta-encodes a cell's entry list.
+func encodeEntries(entries []Entry) []byte {
+	buf := make([]byte, 0, len(entries)*3)
+	var tmp [binary.MaxVarintLen64]byte
+	prevTID := int64(0)
+	for _, e := range entries {
+		n := binary.PutUvarint(tmp[:], uint64(int64(e.TID)-prevTID))
+		buf = append(buf, tmp[:n]...)
+		prevTID = int64(e.TID)
+		n = binary.PutUvarint(tmp[:], uint64(e.BID))
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+// decodeEntries reverses encodeEntries into dst (reused when capacity
+// allows).
+func decodeEntries(buf []byte, n int, dst []Entry) []Entry {
+	if cap(dst) < n {
+		dst = make([]Entry, n)
+	}
+	dst = dst[:n]
+	prevTID := int64(0)
+	pos := 0
+	for i := 0; i < n; i++ {
+		d, w := binary.Uvarint(buf[pos:])
+		pos += w
+		prevTID += int64(d)
+		dst[i].TID = table.TID(prevTID)
+		b, w := binary.Uvarint(buf[pos:])
+		pos += w
+		dst[i].BID = BID(b)
+	}
+	return dst
+}

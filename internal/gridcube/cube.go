@@ -1,0 +1,346 @@
+package gridcube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rankcube/internal/pager"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Entry is one measure element of a cuboid cell: a tuple id together with
+// its base-block id (thesis Table 3.4: "tid (bid) List").
+type Entry struct {
+	TID table.TID
+	BID BID
+}
+
+// Cuboid is one rank-aware cuboid: cells keyed by the values of its
+// selection dimensions plus the pseudo-block id, each holding a tid/bid
+// list.
+type Cuboid struct {
+	dims  []int // selection-dimension positions, ascending
+	cards []int // cardinalities of dims
+	sf    int   // pseudo-block scale factor (§3.2.3)
+	pbins int   // pseudo bins per ranking dimension
+	meta  Meta
+	cells map[uint64]cellRef
+	// data holds uncompressed cell payloads, contiguous, grouped by cell;
+	// nil when lists are delta-compressed (cell bytes live in the store).
+	data       []Entry
+	compressed bool
+	// extra holds per-cell overflow entries appended by incremental
+	// maintenance since the last repartition, tid-ascending.
+	extra  map[uint64][]Entry
+	store  *pager.Store
+	tuples int
+}
+
+type cellRef struct {
+	off, n int32
+	page   pager.PageID
+}
+
+// Dims reports the cuboid's selection dimensions.
+func (cb *Cuboid) Dims() []int { return cb.dims }
+
+// ScaleFactor reports the pseudo-block scale factor.
+func (cb *Cuboid) ScaleFactor() int { return cb.sf }
+
+// PseudoOf maps a base block to its pseudo block id.
+func (cb *Cuboid) PseudoOf(bid BID) int {
+	coords := cb.meta.Coords(bid, nil)
+	pid := 0
+	for _, c := range coords {
+		pid = pid*cb.pbins + c/cb.sf
+	}
+	return pid
+}
+
+// cellKey packs selection values (aligned with cb.dims) and a pid into a
+// mixed-radix uint64.
+func (cb *Cuboid) cellKey(vals []int32, pid int) uint64 {
+	key := uint64(0)
+	for i, v := range vals {
+		key = key*uint64(cb.cards[i]) + uint64(v)
+	}
+	numP := 1
+	for d := 0; d < cb.meta.R; d++ {
+		numP *= cb.pbins
+	}
+	return key*uint64(numP) + uint64(pid)
+}
+
+// GetPseudoBlock implements the get_pseudo_block access method (§3.3.1):
+// given the cuboid cell identified by selection values and pid, it returns
+// the cell's tid/bid list, charging reads through buf.
+func (cb *Cuboid) GetPseudoBlock(vals []int32, pid int, buf *pager.Buffer, c *stats.Counters) []Entry {
+	key := cb.cellKey(vals, pid)
+	ref, ok := cb.cells[key]
+	if !ok {
+		return nil
+	}
+	var base []Entry
+	if cb.compressed {
+		base = decodeEntries(buf.Read(ref.page, c), int(ref.n), nil)
+	} else {
+		buf.Touch(ref.page, c)
+		base = cb.data[ref.off : ref.off+ref.n]
+	}
+	overflow := cb.extra[key]
+	if len(overflow) == 0 {
+		return base
+	}
+	// Fresh tids are always larger than materialized ones, so the merged
+	// list stays tid-ascending (the intersection step relies on it).
+	merged := make([]Entry, 0, len(base)+len(overflow))
+	merged = append(merged, base...)
+	return append(merged, overflow...)
+}
+
+// Store exposes the cuboid's page store for space accounting.
+func (cb *Cuboid) Store() *pager.Store { return cb.store }
+
+// Cube is the full ranking cube ⟨T, C, M⟩ of chapter 3, generalized to
+// fragment grouping (§3.4): with one group holding all selection dimensions
+// it is the fully materialized ranking cube; with groups of size F it is the
+// ranking-fragments materialization whose footprint grows linearly in the
+// number of selection dimensions (Lemma 2).
+type Cube struct {
+	t      *table.Table
+	meta   Meta
+	blocks *BlockTable
+	// cuboids maps a dimension-set key to its cuboid.
+	cuboids map[string]*Cuboid
+	groups  [][]int
+	// tombstones marks deleted tuples awaiting the next repartition;
+	// inserted counts Insert calls since the last repartition.
+	tombstones map[table.TID]bool
+	inserted   int
+	cfg        Config
+}
+
+// Config controls cube construction.
+type Config struct {
+	// BlockSize is the expected tuples per base block (P); default 300
+	// (§3.5.1).
+	BlockSize int
+	// PageSize in bytes; default pager.PageSize.
+	PageSize int
+	// FragmentSize F groups the selection dimensions into ⌈S/F⌉ fragments;
+	// 0 materializes the full cube (a single group of all dimensions).
+	FragmentSize int
+	// Groups, when non-nil, gives explicit fragment grouping and overrides
+	// FragmentSize.
+	Groups [][]int
+	// CompressLists stores cell tid/bid lists varint-delta compressed
+	// (§3.6.3), shrinking the cube at the cost of decode work per access.
+	CompressLists bool
+}
+
+func (c Config) blockSize() int {
+	if c.BlockSize > 0 {
+		return c.BlockSize
+	}
+	return 300
+}
+
+func (c Config) pageSize() int {
+	if c.PageSize > 0 {
+		return c.PageSize
+	}
+	return pager.PageSize
+}
+
+// Build materializes a ranking cube (or ranking fragments) over t.
+func Build(t *table.Table, cfg Config) *Cube {
+	meta := NewMeta(t, cfg.blockSize())
+	cube := &Cube{
+		t:       t,
+		meta:    meta,
+		blocks:  NewBlockTable(t, meta, cfg.pageSize()),
+		cuboids: make(map[string]*Cuboid),
+		cfg:     cfg,
+	}
+	cube.groups = cfg.Groups
+	if cube.groups == nil {
+		s := t.Schema().S()
+		f := cfg.FragmentSize
+		if f <= 0 || f > s {
+			f = s
+		}
+		for lo := 0; lo < s; lo += f {
+			hi := lo + f
+			if hi > s {
+				hi = s
+			}
+			group := make([]int, 0, f)
+			for d := lo; d < hi; d++ {
+				group = append(group, d)
+			}
+			cube.groups = append(cube.groups, group)
+		}
+	}
+	for _, group := range cube.groups {
+		for _, dims := range subsets(group) {
+			cube.buildCuboid(dims)
+		}
+	}
+	return cube
+}
+
+// subsets enumerates the non-empty subsets of dims (the 2^F − 1 cuboids per
+// fragment).
+func subsets(dims []int) [][]int {
+	var out [][]int
+	n := len(dims)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var sub []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub = append(sub, dims[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+func dimsKey(dims []int) string {
+	b := make([]byte, 0, len(dims)*2)
+	for _, d := range dims {
+		b = append(b, byte(d>>8), byte(d))
+	}
+	return string(b)
+}
+
+func (c *Cube) buildCuboid(dims []int) {
+	sorted := append([]int(nil), dims...)
+	sort.Ints(sorted)
+	key := dimsKey(sorted)
+	if _, ok := c.cuboids[key]; ok {
+		return
+	}
+	schema := c.t.Schema()
+	cards := make([]int, len(sorted))
+	prod := 1
+	for i, d := range sorted {
+		cards[i] = schema.SelCard[d]
+		prod *= cards[i]
+	}
+	// Scale factor sf = ⌊(∏ c_j)^(1/R)⌋ (§3.2.3), at least 1, at most bins.
+	sf := int(math.Floor(math.Pow(float64(prod), 1/float64(c.meta.R))))
+	if sf < 1 {
+		sf = 1
+	}
+	if sf > c.meta.Bins {
+		sf = c.meta.Bins
+	}
+	cb := &Cuboid{
+		dims:       sorted,
+		cards:      cards,
+		sf:         sf,
+		pbins:      (c.meta.Bins + sf - 1) / sf,
+		meta:       c.meta,
+		compressed: c.cfg.CompressLists,
+		store:      pager.NewStore(stats.StructCube, c.cfg.pageSize()),
+	}
+
+	// Assemble entries sorted by cell key so each cell is one contiguous run.
+	n := c.t.Len()
+	type keyed struct {
+		key uint64
+		e   Entry
+	}
+	rows := make([]keyed, n)
+	vals := make([]int32, len(sorted))
+	rank := make([]float64, c.meta.R)
+	for i := 0; i < n; i++ {
+		tid := table.TID(i)
+		for j, d := range sorted {
+			vals[j] = c.t.Sel(tid, d)
+		}
+		rank = c.t.RankRow(tid, rank)
+		bid := c.meta.BlockOf(rank)
+		rows[i] = keyed{key: cb.cellKey(vals, cb.PseudoOf(bid)), e: Entry{TID: tid, BID: bid}}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].key != rows[b].key {
+			return rows[a].key < rows[b].key
+		}
+		return rows[a].e.TID < rows[b].e.TID
+	})
+	cb.cells = make(map[uint64]cellRef)
+	if !cb.compressed {
+		cb.data = make([]Entry, n)
+	}
+	var scratch []Entry
+	for i := 0; i < n; {
+		j := i
+		for j < n && rows[j].key == rows[i].key {
+			if !cb.compressed {
+				cb.data[j] = rows[j].e
+			}
+			j++
+		}
+		var page pager.PageID
+		if cb.compressed {
+			scratch = scratch[:0]
+			for k := i; k < j; k++ {
+				scratch = append(scratch, rows[k].e)
+			}
+			page = cb.store.Append(encodeEntries(scratch))
+		} else {
+			// Each cell occupies its own page run: 8 bytes per entry.
+			page = cb.store.AppendLogical((j - i) * 8)
+		}
+		cb.cells[rows[i].key] = cellRef{off: int32(i), n: int32(j - i), page: page}
+		i = j
+	}
+	cb.tuples = n
+	c.cuboids[key] = cb
+}
+
+// Cuboid returns the materialized cuboid over exactly dims, or nil.
+func (c *Cube) Cuboid(dims []int) *Cuboid {
+	sorted := append([]int(nil), dims...)
+	sort.Ints(sorted)
+	return c.cuboids[dimsKey(sorted)]
+}
+
+// Cuboids lists all materialized cuboids.
+func (c *Cube) Cuboids() []*Cuboid {
+	out := make([]*Cuboid, 0, len(c.cuboids))
+	for _, cb := range c.cuboids {
+		out = append(out, cb)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return fmt.Sprint(out[a].dims) < fmt.Sprint(out[b].dims)
+	})
+	return out
+}
+
+// Meta returns the partition meta information M.
+func (c *Cube) Meta() Meta { return c.meta }
+
+// Blocks returns the base block table T.
+func (c *Cube) Blocks() *BlockTable { return c.blocks }
+
+// Table returns the underlying relation.
+func (c *Cube) Table() *table.Table { return c.t }
+
+// Groups returns the fragment grouping in effect.
+func (c *Cube) Groups() [][]int { return c.groups }
+
+// SizeBytes reports the materialized footprint: all cuboid cells plus the
+// base block table (meta information is negligible, §3.4.1).
+func (c *Cube) SizeBytes() int64 {
+	var total int64
+	for _, cb := range c.cuboids {
+		total += cb.store.Bytes()
+	}
+	total += c.blocks.store.Bytes()
+	return total
+}

@@ -1,0 +1,57 @@
+package gridcube
+
+import (
+	"testing"
+
+	"rankcube/internal/ranking"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// TestThesisRunningExample reproduces the demonstrative example of thesis
+// §3.3.3 (Tables 3.1-3.7): the sample database's top-2 query
+//
+//	select top 2 * from R where A1 = 1 and A2 = 1 sort by N1 + N2
+//
+// returns t1 (score 0.1) and t3 (score 0.3).
+func TestThesisRunningExample(t *testing.T) {
+	tb := table.New(table.Schema{
+		SelNames:  []string{"A1", "A2"},
+		SelCard:   []int{3, 3},
+		RankNames: []string{"N1", "N2"},
+	})
+	// Table 3.1's visible rows (tids shift down by one to 0-based).
+	tb.Append([]int32{1, 1}, []float64{0.05, 0.05}) // t1
+	tb.Append([]int32{1, 2}, []float64{0.65, 0.70}) // t2
+	tb.Append([]int32{1, 1}, []float64{0.05, 0.25}) // t3
+	tb.Append([]int32{1, 1}, []float64{0.35, 0.15}) // t4
+	// Filler tuples in other cells so the partition has volume.
+	tb.Append([]int32{2, 1}, []float64{0.50, 0.90})
+	tb.Append([]int32{0, 2}, []float64{0.95, 0.40})
+	tb.Append([]int32{2, 2}, []float64{0.20, 0.60})
+	tb.Append([]int32{0, 0}, []float64{0.80, 0.10})
+
+	cube := Build(tb, Config{BlockSize: 2})
+	res, err := cube.TopK(Query{
+		Cond: map[int]int32{0: 1, 1: 1},
+		F:    ranking.Sum(0, 1),
+		K:    2,
+	}, stats.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("top-2 returned %d results", len(res))
+	}
+	if res[0].TID != 0 || !approx(res[0].Score, 0.10) {
+		t.Fatalf("first = t%d score %v, want t1 (tid 0) score 0.1", res[0].TID+1, res[0].Score)
+	}
+	if res[1].TID != 2 || !approx(res[1].Score, 0.30) {
+		t.Fatalf("second = t%d score %v, want t3 (tid 2) score 0.3", res[1].TID+1, res[1].Score)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

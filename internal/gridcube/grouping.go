@@ -1,0 +1,144 @@
+package gridcube
+
+import (
+	"sort"
+
+	"rankcube/internal/table"
+)
+
+// Fragment grouping strategies (thesis §3.6.2). The default grouping slices
+// dimensions into consecutive runs; when a query history is available,
+// grouping dimensions that are frequently queried together lets more
+// queries be covered by a single fragment, and dimensions with very large
+// cardinalities are better kept alone because combining them leaves cells
+// too small to be useful.
+
+// GroupsFromWorkload derives a fragment grouping of the S selection
+// dimensions from a query history ("if the workload is available, one can
+// compute the combination of dimensions that are frequently used in queries
+// and materialize ranking fragments on those combinations"). Each history
+// entry lists the selection dimensions one query constrained. Groups have
+// at most f dimensions; pairs that co-occur most often are merged first
+// (greedy agglomeration).
+func GroupsFromWorkload(history [][]int, s, f int) [][]int {
+	if f < 1 {
+		f = 1
+	}
+	// Pairwise co-occurrence counts.
+	co := make(map[[2]int]int)
+	for _, q := range history {
+		for i := 0; i < len(q); i++ {
+			for j := i + 1; j < len(q); j++ {
+				a, b := q[i], q[j]
+				if a > b {
+					a, b = b, a
+				}
+				if a >= 0 && b < s {
+					co[[2]int{a, b}]++
+				}
+			}
+		}
+	}
+	type pair struct {
+		a, b int
+		n    int
+	}
+	pairs := make([]pair, 0, len(co))
+	for k, n := range co {
+		pairs = append(pairs, pair{k[0], k[1], n})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].n != pairs[j].n {
+			return pairs[i].n > pairs[j].n
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+
+	// Union-find with size caps.
+	parent := make([]int, s)
+	size := make([]int, s)
+	for d := range parent {
+		parent[d] = d
+		size[d] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range pairs {
+		ra, rb := find(p.a), find(p.b)
+		if ra == rb || size[ra]+size[rb] > f {
+			continue
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+
+	// Emit groups; singletons merge into consecutive fill groups up to f.
+	members := make(map[int][]int)
+	for d := 0; d < s; d++ {
+		r := find(d)
+		members[r] = append(members[r], d)
+	}
+	var groups [][]int
+	var loose []int
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		g := members[r]
+		if len(g) == 1 {
+			loose = append(loose, g[0])
+			continue
+		}
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	sort.Ints(loose)
+	for i := 0; i < len(loose); i += f {
+		j := i + f
+		if j > len(loose) {
+			j = len(loose)
+		}
+		groups = append(groups, append([]int(nil), loose[i:j]...))
+	}
+	return groups
+}
+
+// GroupsByCardinality derives a grouping that isolates high-cardinality
+// dimensions ("if a dimension has large cardinality, further combining this
+// dimension with other dimensions may not be useful, since the number of
+// tuples in each cell will be too small"). Dimensions whose cardinality is
+// at least threshold become singleton fragments; the rest group
+// consecutively up to f per fragment.
+func GroupsByCardinality(schema table.Schema, f, threshold int) [][]int {
+	if f < 1 {
+		f = 1
+	}
+	var groups [][]int
+	var low []int
+	for d := 0; d < schema.S(); d++ {
+		if schema.SelCard[d] >= threshold {
+			groups = append(groups, []int{d})
+		} else {
+			low = append(low, d)
+		}
+	}
+	for i := 0; i < len(low); i += f {
+		j := i + f
+		if j > len(low) {
+			j = len(low)
+		}
+		groups = append(groups, append([]int(nil), low[i:j]...))
+	}
+	return groups
+}

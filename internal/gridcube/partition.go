@@ -1,0 +1,246 @@
+// Package gridcube implements the ranking cube of thesis chapter 3: an
+// equi-depth grid partition of the ranking dimensions (base blocks), a
+// rank-aware data cube over the selection dimensions whose measure is a
+// ⟨pseudo-block, tid/bid list⟩ layout, the four-step progressive query
+// algorithm (pre-process / search / retrieve / evaluate), and the ranking
+// fragments extension for high-dimensional selection spaces (§3.4).
+package gridcube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rankcube/internal/pager"
+	"rankcube/internal/ranking"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// BID is a base-block id: the row-major index of the block's bin coordinates
+// over the ranking dimensions.
+type BID int32
+
+// Meta is the partitioning meta information the cube stores alongside the
+// cuboids (§3.2.2): the equi-depth bin boundaries of every ranking dimension
+// plus derived geometry.
+type Meta struct {
+	// Bounds[d] holds bins+1 ascending boundary values of ranking
+	// dimension d; bin i spans [Bounds[d][i], Bounds[d][i+1]].
+	Bounds [][]float64
+	// Bins is the number of bins per dimension (uniform across dimensions).
+	Bins int
+	// R is the number of ranking dimensions.
+	R int
+}
+
+// NewMeta computes equi-depth bin boundaries over t's ranking dimensions so
+// that base blocks hold about blockSize tuples: bins = ceil((T/P)^(1/R))
+// (§3.2.2).
+func NewMeta(t *table.Table, blockSize int) Meta {
+	r := t.Schema().R()
+	n := t.Len()
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	bins := int(math.Ceil(math.Pow(float64(n)/float64(blockSize), 1/float64(r))))
+	if bins < 1 {
+		bins = 1
+	}
+	m := Meta{Bounds: make([][]float64, r), Bins: bins, R: r}
+	for d := 0; d < r; d++ {
+		col := append([]float64(nil), t.RankColumn(d)...)
+		sort.Float64s(col)
+		bounds := make([]float64, bins+1)
+		for i := 0; i <= bins; i++ {
+			pos := i * (n - 1) / bins
+			if i == bins {
+				pos = n - 1
+			}
+			bounds[i] = col[pos]
+		}
+		// Equi-depth boundaries can repeat under heavy value duplication;
+		// force strict monotonicity so every bin has positive extent.
+		for i := 1; i <= bins; i++ {
+			if bounds[i] <= bounds[i-1] {
+				bounds[i] = math.Nextafter(bounds[i-1], math.Inf(1))
+			}
+		}
+		m.Bounds[d] = bounds
+	}
+	return m
+}
+
+// NumBlocks reports the total number of base blocks (bins^R).
+func (m Meta) NumBlocks() int {
+	n := 1
+	for i := 0; i < m.R; i++ {
+		n *= m.Bins
+	}
+	return n
+}
+
+// BinOf locates the bin of value v on dimension d.
+func (m Meta) BinOf(d int, v float64) int {
+	bounds := m.Bounds[d]
+	// Upper bound: first boundary strictly greater than v.
+	i := sort.SearchFloat64s(bounds, v)
+	if i < len(bounds) && bounds[i] == v {
+		i++
+	}
+	bin := i - 1
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= m.Bins {
+		bin = m.Bins - 1
+	}
+	return bin
+}
+
+// BlockOf computes the base-block id of a full-width ranking vector.
+func (m Meta) BlockOf(rank []float64) BID {
+	bid := 0
+	for d := 0; d < m.R; d++ {
+		bid = bid*m.Bins + m.BinOf(d, rank[d])
+	}
+	return BID(bid)
+}
+
+// Coords decomposes a bid into per-dimension bin coordinates.
+func (m Meta) Coords(bid BID, buf []int) []int {
+	if cap(buf) < m.R {
+		buf = make([]int, m.R)
+	}
+	buf = buf[:m.R]
+	v := int(bid)
+	for d := m.R - 1; d >= 0; d-- {
+		buf[d] = v % m.Bins
+		v /= m.Bins
+	}
+	return buf
+}
+
+// BlockOfCoords composes a bid from bin coordinates.
+func (m Meta) BlockOfCoords(coords []int) BID {
+	bid := 0
+	for _, c := range coords {
+		bid = bid*m.Bins + c
+	}
+	return BID(bid)
+}
+
+// BlockBox returns the full-width box covered by block bid.
+func (m Meta) BlockBox(bid BID) ranking.Box {
+	coords := m.Coords(bid, nil)
+	lo := make([]float64, m.R)
+	hi := make([]float64, m.R)
+	for d, c := range coords {
+		lo[d] = m.Bounds[d][c]
+		hi[d] = m.Bounds[d][c+1]
+	}
+	return ranking.NewBox(lo, hi)
+}
+
+// Domain returns the full data domain box.
+func (m Meta) Domain() ranking.Box {
+	lo := make([]float64, m.R)
+	hi := make([]float64, m.R)
+	for d := 0; d < m.R; d++ {
+		lo[d] = m.Bounds[d][0]
+		hi[d] = m.Bounds[d][m.Bins]
+	}
+	return ranking.NewBox(lo, hi)
+}
+
+// Neighbors appends the Moore neighborhood of bid (all blocks differing by
+// at most one bin per dimension) to dst. The thesis' Lemma 1 drives the
+// neighborhood search over these.
+func (m Meta) Neighbors(bid BID, dst []BID) []BID {
+	coords := m.Coords(bid, nil)
+	work := make([]int, m.R)
+	var rec func(d int, moved bool)
+	rec = func(d int, moved bool) {
+		if d == m.R {
+			if moved {
+				dst = append(dst, m.BlockOfCoords(work))
+			}
+			return
+		}
+		for delta := -1; delta <= 1; delta++ {
+			c := coords[d] + delta
+			if c < 0 || c >= m.Bins {
+				continue
+			}
+			work[d] = c
+			rec(d+1, moved || delta != 0)
+		}
+	}
+	rec(0, false)
+	return dst
+}
+
+// blockEntry is one tuple in the base block table: tid plus its full
+// ranking vector (§3.2.2 Table 3.2's right-hand decomposition).
+type blockEntry struct {
+	tid  table.TID
+	rank []float64
+}
+
+// BlockTable is the base block table T of the ranking cube triple ⟨T, C, M⟩.
+type BlockTable struct {
+	meta   Meta
+	blocks map[BID][]blockEntry
+	pages  map[BID]pager.PageID
+	store  *pager.Store
+}
+
+// NewBlockTable partitions t's tuples into base blocks.
+func NewBlockTable(t *table.Table, meta Meta, pageSize int) *BlockTable {
+	bt := &BlockTable{
+		meta:   meta,
+		blocks: make(map[BID][]blockEntry),
+		pages:  make(map[BID]pager.PageID),
+		store:  pager.NewStore(stats.StructBlockTab, pageSize),
+	}
+	r := t.Schema().R()
+	for i := 0; i < t.Len(); i++ {
+		tid := table.TID(i)
+		rank := t.RankRow(tid, make([]float64, r))
+		bid := meta.BlockOf(rank)
+		bt.blocks[bid] = append(bt.blocks[bid], blockEntry{tid: tid, rank: rank})
+	}
+	// One page run per base block: tid (4) + R values (8 each).
+	rowBytes := 4 + 8*r
+	for bid, entries := range bt.blocks {
+		bt.pages[bid] = bt.store.AppendLogical(len(entries) * rowBytes)
+	}
+	return bt
+}
+
+// Get implements the get_base_block access method (§3.3.1), charging block
+// reads through the per-query buffer.
+func (bt *BlockTable) Get(bid BID, buf *pager.Buffer, c *stats.Counters) []blockEntry {
+	entries, ok := bt.blocks[bid]
+	if !ok {
+		return nil
+	}
+	buf.Touch(bt.pages[bid], c)
+	return entries
+}
+
+// NewBuffer returns a per-query buffer over the block table's store.
+func (bt *BlockTable) NewBuffer() *pager.Buffer { return pager.NewBuffer(bt.store) }
+
+// Store exposes the backing store (for space accounting).
+func (bt *BlockTable) Store() *pager.Store { return bt.store }
+
+// Meta returns the partition meta information.
+func (bt *BlockTable) Meta() Meta { return bt.meta }
+
+// NumOccupied reports how many base blocks hold at least one tuple.
+func (bt *BlockTable) NumOccupied() int { return len(bt.blocks) }
+
+func (bt *BlockTable) String() string {
+	return fmt.Sprintf("BlockTable{bins=%d occupied=%d}", bt.meta.Bins, len(bt.blocks))
+}

@@ -1,0 +1,328 @@
+package gridcube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/pager"
+	"rankcube/internal/ranking"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Query is a multi-dimensional top-k query (thesis §1.2.1): equality
+// selections over selection dimensions plus an ad hoc ranking function over
+// ranking dimensions, ascending scores preferred.
+type Query struct {
+	// Cond maps selection-dimension positions to required values.
+	Cond map[int]int32
+	// F is the ranking function.
+	F ranking.Func
+	// K is the number of results requested.
+	K int
+}
+
+// Result is one scored tuple (shared with the other engines).
+type Result = core.Result
+
+// CoveringCuboids selects the cuboids answering a query over the given
+// selection dimensions with the minmax criterion of §3.4.2: candidate
+// cuboids contained in the query dimensions, maximal among those, then a
+// minimal covering subset (greedy set cover). It returns an error when the
+// materialized fragments cannot cover the query.
+func (c *Cube) CoveringCuboids(dims []int) ([]*Cuboid, error) {
+	need := make(map[int]bool, len(dims))
+	for _, d := range dims {
+		need[d] = true
+	}
+	var candidates []*Cuboid
+	for _, cb := range c.cuboids {
+		inside := true
+		for _, d := range cb.dims {
+			if !need[d] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			candidates = append(candidates, cb)
+		}
+	}
+	// Maximum step: drop cuboids strictly contained in another candidate.
+	maximal := candidates[:0]
+	for _, cb := range candidates {
+		dominated := false
+		for _, other := range candidates {
+			if other != cb && len(other.dims) > len(cb.dims) && contains(other.dims, cb.dims) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, cb)
+		}
+	}
+	// Minimum step: greedy set cover over the query dimensions.
+	sort.Slice(maximal, func(a, b int) bool {
+		if len(maximal[a].dims) != len(maximal[b].dims) {
+			return len(maximal[a].dims) > len(maximal[b].dims)
+		}
+		return fmt.Sprint(maximal[a].dims) < fmt.Sprint(maximal[b].dims)
+	})
+	uncovered := make(map[int]bool, len(dims))
+	for _, d := range dims {
+		uncovered[d] = true
+	}
+	var cover []*Cuboid
+	for len(uncovered) > 0 {
+		best, gain := -1, 0
+		for i, cb := range maximal {
+			g := 0
+			for _, d := range cb.dims {
+				if uncovered[d] {
+					g++
+				}
+			}
+			if g > gain {
+				best, gain = i, g
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("gridcube: dimensions %v not covered by materialized fragments", remaining(uncovered))
+		}
+		cover = append(cover, maximal[best])
+		for _, d := range maximal[best].dims {
+			delete(uncovered, d)
+		}
+	}
+	return cover, nil
+}
+
+func contains(sup, sub []int) bool {
+	set := make(map[int]bool, len(sup))
+	for _, d := range sup {
+		set[d] = true
+	}
+	for _, d := range sub {
+		if !set[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func remaining(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TopK answers q with the progressive algorithm of §3.3 (and §3.4.2 when
+// the query spans multiple fragments): locate the most promising base block,
+// retrieve its cell lists (intersecting across covering cuboids), fetch and
+// evaluate candidate tuples, and expand to neighboring blocks until the kth
+// score is no worse than the best unseen block's bound.
+func (c *Cube) TopK(q Query, ctr *stats.Counters) ([]Result, error) {
+	if q.K <= 0 {
+		return nil, nil
+	}
+	condDims := make([]int, 0, len(q.Cond))
+	for d := range q.Cond {
+		condDims = append(condDims, d)
+	}
+	sort.Ints(condDims)
+	cover, err := c.CoveringCuboids(condDims)
+	if err != nil {
+		return nil, err
+	}
+	// Per-cuboid selection value vectors, aligned with each cuboid's dims.
+	condVals := make([][]int32, len(cover))
+	for i, cb := range cover {
+		vals := make([]int32, len(cb.dims))
+		for j, d := range cb.dims {
+			vals[j] = q.Cond[d]
+		}
+		condVals[i] = vals
+	}
+
+	exec := &gridExec{
+		cube:     c,
+		cover:    cover,
+		condVals: condVals,
+		f:        q.F,
+		k:        q.K,
+		ctr:      ctr,
+		blockBuf: c.blocks.NewBuffer(),
+		topk:     heap.NewBounded[Result](q.K, core.WorseResult),
+	}
+	exec.cubeBufs = make([]*pager.Buffer, len(cover))
+	for i, cb := range cover {
+		exec.cubeBufs[i] = pager.NewBuffer(cb.store)
+	}
+
+	if ranking.IsConvexFunc(q.F) {
+		if min, ok := q.F.(ranking.Minimizer); ok {
+			exec.neighborhoodSearch(min)
+			return exec.topk.Sorted(), nil
+		}
+	}
+	exec.exhaustiveSearch()
+	return exec.topk.Sorted(), nil
+}
+
+type gridExec struct {
+	cube     *Cube
+	cover    []*Cuboid
+	condVals [][]int32
+	f        ranking.Func
+	k        int
+	ctr      *stats.Counters
+
+	blockBuf *pager.Buffer
+	cubeBufs []*pager.Buffer
+	topk     *heap.Bounded[Result]
+}
+
+type scoredBlock struct {
+	bid   BID
+	bound float64
+}
+
+func lessBlock(a, b scoredBlock) bool {
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	return a.bid < b.bid
+}
+
+// done reports whether the stop condition Sk ≤ Sunseen holds.
+func (e *gridExec) done(unseen float64) bool {
+	return e.topk.Full() && e.topk.Worst().Score <= unseen
+}
+
+// neighborhoodSearch implements the convex-function search of §3.3.2: start
+// at the block containing the function minimum and expand through the
+// neighbor list H ordered by block lower bounds (Lemma 1).
+func (e *gridExec) neighborhoodSearch(min ranking.Minimizer) {
+	meta := e.cube.meta
+	domain := meta.Domain()
+	start := meta.BlockOf(min.ArgMin(domain))
+
+	h := heap.New[scoredBlock](lessBlock)
+	inserted := map[BID]bool{start: true}
+	h.Push(scoredBlock{bid: start, bound: e.f.LowerBound(meta.BlockBox(start))})
+
+	var neighbors []BID
+	for h.Len() > 0 {
+		e.ctr.ObserveHeap(h.Len())
+		top := h.Pop()
+		if e.done(top.bound) {
+			return
+		}
+		e.processBlock(top.bid)
+		neighbors = meta.Neighbors(top.bid, neighbors[:0])
+		for _, nb := range neighbors {
+			if inserted[nb] {
+				continue
+			}
+			inserted[nb] = true
+			h.Push(scoredBlock{bid: nb, bound: e.f.LowerBound(meta.BlockBox(nb))})
+		}
+	}
+}
+
+// exhaustiveSearch is the fallback for functions without a declared convex
+// structure: every occupied base block is ranked by its lower bound and
+// processed best-first. Correct for any lower-boundable function (§3.6.1's
+// ad hoc case with one convex sub-domain).
+func (e *gridExec) exhaustiveSearch() {
+	meta := e.cube.meta
+	h := heap.New[scoredBlock](lessBlock)
+	for bid := range e.cube.blocks.blocks {
+		bound := e.f.LowerBound(meta.BlockBox(bid))
+		if !math.IsInf(bound, 1) {
+			h.Push(scoredBlock{bid: bid, bound: bound})
+		}
+	}
+	for h.Len() > 0 {
+		e.ctr.ObserveHeap(h.Len())
+		top := h.Pop()
+		if e.done(top.bound) {
+			return
+		}
+		e.processBlock(top.bid)
+	}
+}
+
+// processBlock runs the retrieve and evaluate steps of §3.3.2 for one base
+// block: fetch the covering cells' tid lists, intersect, then fetch the base
+// block and score the surviving tuples.
+func (e *gridExec) processBlock(bid BID) {
+	// An unconditioned query (no covering cuboids) evaluates every tuple of
+	// the block straight from the base block table.
+	if len(e.cover) == 0 {
+		for _, be := range e.cube.blocks.Get(bid, e.blockBuf, e.ctr) {
+			if e.cube.tombstones[be.tid] {
+				continue
+			}
+			e.topk.Offer(Result{TID: be.tid, Score: e.f.Eval(be.rank)})
+		}
+		return
+	}
+	// Retrieve: intersect cell lists across covering cuboids, filtered to
+	// this bid. Lists are tid-ascending, so a k-way merge intersection works.
+	var candidates []table.TID
+	for i, cb := range e.cover {
+		entries := cb.GetPseudoBlock(e.condVals[i], cb.PseudoOf(bid), e.cubeBufs[i], e.ctr)
+		var tids []table.TID
+		for _, en := range entries {
+			if en.BID == bid {
+				tids = append(tids, en.TID)
+			}
+		}
+		if i == 0 {
+			candidates = tids
+		} else {
+			candidates = intersectSorted(candidates, tids)
+		}
+		if len(candidates) == 0 {
+			return
+		}
+	}
+
+	// Evaluate: fetch real values from the base block table and score.
+	want := make(map[table.TID]bool, len(candidates))
+	for _, tid := range candidates {
+		want[tid] = true
+	}
+	for _, be := range e.cube.blocks.Get(bid, e.blockBuf, e.ctr) {
+		if !want[be.tid] || e.cube.tombstones[be.tid] {
+			continue
+		}
+		e.topk.Offer(Result{TID: be.tid, Score: e.f.Eval(be.rank)})
+	}
+}
+
+func intersectSorted(a, b []table.TID) []table.TID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+// Package hindex defines the hierarchical index abstraction shared by the
+// B+-tree and R-tree substrates. The thesis' signature measures (ch. 4) and
+// index-merge framework (ch. 5) are defined over any index in which "a
+// subspace occupied by a tree node is always contained in the subspace of
+// its parent node" (§5.1.1); this package captures exactly that contract,
+// plus the node-path and SID machinery signatures are keyed by (§4.2.1).
+package hindex
+
+import (
+	"rankcube/internal/pager"
+	"rankcube/internal/ranking"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// NodeID identifies a node within one index.
+type NodeID int32
+
+// InvalidNode is the "no node" sentinel.
+const InvalidNode NodeID = -1
+
+// ChildRef describes one entry of an internal node: the child node and its
+// bounding box. Boxes are full-width over the relation's ranking dimensions;
+// dimensions the index does not cover span the index's domain, so joint
+// boxes across indexes compose by per-dimension intersection.
+type ChildRef struct {
+	ID  NodeID
+	Box ranking.Box
+}
+
+// LeafEntry describes one tuple entry of a leaf node. Point is full-width;
+// uncovered dimensions hold the domain midpoint and must not be consumed by
+// ranking functions that reference them.
+type LeafEntry struct {
+	TID   table.TID
+	Point []float64
+}
+
+// Index is a hierarchical, block-resident index over a subset of the ranking
+// dimensions.
+type Index interface {
+	// Dims lists the ranking-dimension positions the index covers, ascending.
+	Dims() []int
+	// Domain is the full-width box enclosing all indexed data.
+	Domain() ranking.Box
+	// Root returns the root node (InvalidNode when empty).
+	Root() NodeID
+	// Height reports the number of levels (1 = root is a leaf).
+	Height() int
+	// MaxFanout reports the maximum entries per node (the thesis' M).
+	MaxFanout() int
+	// IsLeaf reports whether id is a leaf node.
+	IsLeaf(id NodeID) bool
+	// NumChildren reports the number of entries in node id (children of an
+	// internal node, tuples of a leaf).
+	NumChildren(id NodeID) int
+	// Children returns the entries of internal node id in slot order.
+	Children(id NodeID) []ChildRef
+	// ChildAt returns the child node in the given 0-based slot of internal
+	// node id, without materializing the full entry list.
+	ChildAt(id NodeID, slot int) NodeID
+	// LeafEntries returns the tuples of leaf node id in slot order.
+	LeafEntries(id NodeID) []LeafEntry
+	// NodeBox returns the full-width bounding box of node id.
+	NodeBox(id NodeID) ranking.Box
+	// Page returns the storage page holding node id, for I/O accounting.
+	Page(id NodeID) pager.PageID
+	// Store returns the backing page store.
+	Store() *pager.Store
+	// Path returns the entry positions from the root to node id (thesis
+	// §4.2.1): the root has an empty path; a level-l node has l positions,
+	// 1-based as in the thesis.
+	Path(id NodeID) []int
+}
+
+// TupleLocator is implemented by indexes that can resolve a tuple to the
+// path of the leaf node holding it (thesis §5.3.2: "we only need to know
+// which leaf-node contains t", so tuple paths for join-signatures drop the
+// leaf slot). Join-signature construction requires it.
+type TupleLocator interface {
+	LeafPath(tid table.TID) []int
+}
+
+// ValueOrdered is implemented by indexes whose children within a node are
+// sorted by attribute value (B+-trees). Index-merge neighborhood expansion
+// (§5.2.2) requires a total order on node entries and is only offered over
+// such indexes.
+type ValueOrdered interface {
+	ValueOrdered() bool
+}
+
+// PartitionTree is the contract ranking-cube measures are built over: a
+// hierarchical index that can also resolve tuples to and from their paths.
+// Both chapter 4 partition schemes implement it — the R-tree
+// (internal/rtree) and the merged-grid hierarchy (internal/gridtree),
+// thesis figs. 4.1/4.2.
+type PartitionTree interface {
+	Index
+	TupleLocator
+	// TuplePath returns a tuple's full path including its leaf slot.
+	TuplePath(tid table.TID) []int
+	// TIDAt resolves a full tuple path back to the tuple.
+	TIDAt(path []int) (table.TID, bool)
+}
+
+// MaintainableTree is implemented by partition trees supporting incremental
+// updates (the R-tree; grid partitions re-partition periodically instead,
+// §1.3.1). Insert and Delete return the set of tuples whose paths changed.
+type MaintainableTree interface {
+	Insert(tid table.TID, point []float64) []table.TID
+	Delete(tid table.TID) ([]table.TID, bool)
+}
+
+// Accessor mediates node access during one query, charging block reads
+// through a per-query buffer so repeated visits to a node are billed once.
+type Accessor struct {
+	Idx Index
+	buf *pager.Buffer
+	c   *stats.Counters
+}
+
+// NewAccessor returns an accessor charging idx reads to c.
+func NewAccessor(idx Index, c *stats.Counters) *Accessor {
+	return &Accessor{Idx: idx, buf: pager.NewBuffer(idx.Store()), c: c}
+}
+
+// Children fetches internal node entries, charging the node's page.
+func (a *Accessor) Children(id NodeID) []ChildRef {
+	a.buf.Touch(a.Idx.Page(id), a.c)
+	return a.Idx.Children(id)
+}
+
+// LeafEntries fetches leaf tuples, charging the leaf's page.
+func (a *Accessor) LeafEntries(id NodeID) []LeafEntry {
+	a.buf.Touch(a.Idx.Page(id), a.c)
+	return a.Idx.LeafEntries(id)
+}
+
+// Retrieved reports whether node id's page has already been read through
+// this accessor (used for redundant-state detection, thesis §5.1.3: a leaf
+// index node is redundant if it has been retrieved previously).
+func (a *Accessor) Retrieved(id NodeID) bool {
+	return a.buf.Seen(a.Idx.Page(id))
+}
+
+// SID encodes a node path as the thesis' signature id:
+// SID = p0·(M+1)^l + p1·(M+1)^(l−1) + … + p_{l−1}, with the empty (root)
+// path mapping to 0.
+func SID(path []int, maxFanout int) uint64 {
+	base := uint64(maxFanout + 1)
+	var sid uint64
+	for _, p := range path {
+		sid = sid*base + uint64(p)
+	}
+	return sid
+}
+
+// PathKey encodes a path for use as a map key.
+func PathKey(path []int) string {
+	b := make([]byte, 0, len(path)*2)
+	for _, p := range path {
+		b = append(b, byte(p>>8), byte(p))
+	}
+	return string(b)
+}

@@ -1,0 +1,61 @@
+package hindex
+
+import "testing"
+
+func TestSIDDistinctness(t *testing.T) {
+	m := 16
+	seen := map[uint64][]int{}
+	var paths [][]int
+	for a := 1; a <= m; a++ {
+		paths = append(paths, []int{a})
+		for b := 1; b <= m; b++ {
+			paths = append(paths, []int{a, b})
+		}
+	}
+	paths = append(paths, []int{})
+	for _, p := range paths {
+		sid := SID(p, m)
+		if prev, ok := seen[sid]; ok {
+			t.Fatalf("SID collision: %v and %v -> %d", prev, p, sid)
+		}
+		seen[sid] = append([]int(nil), p...)
+	}
+}
+
+func TestSIDRootIsZero(t *testing.T) {
+	if SID(nil, 204) != 0 {
+		t.Fatalf("root SID = %d", SID(nil, 204))
+	}
+}
+
+func TestSIDThesisFormula(t *testing.T) {
+	// Thesis example (§4.2.1): M = 2, path of node N3 is ⟨1,1⟩, SID = 4.
+	if got := SID([]int{1, 1}, 2); got != 4 {
+		t.Fatalf("SID(⟨1,1⟩, M=2) = %d, want 4", got)
+	}
+}
+
+func TestPathKey(t *testing.T) {
+	a := PathKey([]int{1, 2, 3})
+	b := PathKey([]int{1, 2, 3})
+	c := PathKey([]int{1, 2})
+	d := PathKey([]int{3, 2, 1})
+	if a != b {
+		t.Fatal("PathKey not deterministic")
+	}
+	if a == c || a == d {
+		t.Fatal("PathKey collision")
+	}
+	if PathKey(nil) != "" {
+		t.Fatal("empty path key not empty")
+	}
+	// Positions above 255 must not collide (16-bit encoding).
+	if PathKey([]int{256}) == PathKey([]int{1, 0}) {
+		// ⟨256⟩ encodes to bytes {1,0}; ⟨1,0⟩ encodes to {0,1,0,0}: lengths
+		// differ, so no collision. Verify a trickier pair too.
+		t.Fatal("16-bit encoding collision")
+	}
+	if PathKey([]int{257, 1}) == PathKey([]int{1, 257}) {
+		t.Fatal("order-insensitive PathKey")
+	}
+}

@@ -1,0 +1,235 @@
+package indexmerge
+
+import (
+	"fmt"
+	"math"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/hindex"
+	"rankcube/internal/ranking"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Strategy selects the merge algorithm.
+type Strategy int
+
+// Merge strategies of the thesis' chapter-5 evaluation.
+const (
+	// StrategyPE is the double-heap progressive expansion (Alg. 5) —
+	// the default.
+	StrategyPE Strategy = iota
+	// StrategyBL is the baseline full-expansion merge (Alg. 4).
+	StrategyBL
+)
+
+// Options configures a merge run.
+type Options struct {
+	Strategy Strategy
+	// Pruner prunes empty states by join-signature (PE+SIG); nil disables.
+	Pruner Pruner
+	// DisableNeighborhood forces threshold expansion even for (semi-)
+	// monotone functions (ablation).
+	DisableNeighborhood bool
+}
+
+// Merger executes one top-k query over m merged indices.
+type Merger struct {
+	indices []hindex.Index
+	acc     []*hindex.Accessor
+	f       ranking.Func
+	k       int
+	opts    Options
+	pruner  Pruner
+	ctr     *stats.Counters
+
+	gheap *heap.Heap[*state]
+	topk  *heap.Bounded[core.Result]
+	// partial holds partially merged tuples (the sort-merge hashtable h of
+	// §5.1.2).
+	partial map[table.TID]*partialTuple
+}
+
+type partialTuple struct {
+	point []float64
+	got   int // bitmask of contributing indices
+}
+
+// TopK merges the indices and returns the k lowest-scoring tuples. The
+// ranking function may reference any dimension covered by some index;
+// dimensions covered by no index hold the domain midpoint, so f should only
+// reference indexed dimensions (thesis data model, §5.1.1).
+func TopK(indices []hindex.Index, f ranking.Func, k int, opts Options, ctr *stats.Counters) ([]core.Result, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("indexmerge: no indices")
+	}
+	covered := make(map[int]bool)
+	for _, idx := range indices {
+		for _, d := range idx.Dims() {
+			covered[d] = true
+		}
+	}
+	for _, a := range f.Attrs() {
+		if !covered[a] {
+			return nil, fmt.Errorf("indexmerge: ranking dimension %d not covered by any index", a)
+		}
+	}
+	m := &Merger{
+		indices: indices,
+		acc:     make([]*hindex.Accessor, len(indices)),
+		f:       f,
+		k:       k,
+		opts:    opts,
+		ctr:     ctr,
+		pruner:  opts.Pruner,
+		gheap:   heap.New[*state](lessState),
+		topk:    heap.NewBounded[core.Result](k, core.WorseResult),
+		partial: make(map[table.TID]*partialTuple),
+	}
+	for i, idx := range indices {
+		if idx.Root() == hindex.InvalidNode {
+			return nil, nil
+		}
+		m.acc[i] = hindex.NewAccessor(idx, ctr)
+	}
+	m.run()
+	return m.topk.Sorted(), nil
+}
+
+func lessState(a, b *state) bool {
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	// Leaf states first so exact scores settle the stop condition sooner.
+	return a.leaf && !b.leaf
+}
+
+// heapSize reports combined global + local heap occupancy (the peak heap
+// metric of figs. 5.12/5.16).
+func (m *Merger) heapSize() int {
+	n := m.gheap.Len()
+	for _, it := range m.gheap.Items() {
+		if it.exp != nil {
+			n += it.exp.lheap.Len()
+		}
+	}
+	return n
+}
+
+// rootState builds the joint root (I1.root, …, Im.root).
+func (m *Merger) rootState() *state {
+	nodes := make([]hindex.NodeID, len(m.indices))
+	box := m.indices[0].NodeBox(m.indices[0].Root())
+	leaf := true
+	for i, idx := range m.indices {
+		nodes[i] = idx.Root()
+		if i > 0 {
+			box = composeBox(box, idx.NodeBox(idx.Root()))
+		}
+		if !idx.IsLeaf(idx.Root()) {
+			leaf = false
+		}
+	}
+	return &state{nodes: nodes, box: box, bound: m.f.LowerBound(box), leaf: leaf}
+}
+
+// run is the query-processing loop: Alg. 4 for StrategyBL (each popped state
+// fully expands), Alg. 5 for StrategyPE (each popped state yields its next
+// best child and re-enters the heap).
+func (m *Merger) run() {
+	m.gheap.Push(m.rootState())
+	m.ctr.StatesGenerated++
+	for m.gheap.Len() > 0 {
+		m.ctr.ObserveHeap(m.heapSize())
+		s := m.gheap.Pop()
+		m.ctr.StatesExamined++
+		if m.topk.Full() && m.topk.Worst().Score <= s.bound {
+			return
+		}
+		if s.leaf {
+			m.processLeafState(s)
+			continue
+		}
+		if m.opts.Strategy == StrategyBL {
+			m.expandFully(s)
+			continue
+		}
+		if s.exp == nil {
+			m.initExpansion(s)
+		}
+		if child := m.getNext(s); child != nil {
+			m.gheap.Push(child)
+		}
+		if next := s.exp.peekBound(); !math.IsInf(next, 1) {
+			s.bound = next
+			m.gheap.Push(s)
+		}
+	}
+}
+
+// expandFully is Alg. 4's full Cartesian expansion.
+func (m *Merger) expandFully(s *state) {
+	if s.exp == nil {
+		m.initExpansion(s)
+	}
+	if s.exp.dead {
+		return
+	}
+	combo := make([]int, len(s.exp.members))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(combo) {
+			bound := s.exp.comboBound(m, combo)
+			if math.IsInf(bound, 1) {
+				return
+			}
+			if s.exp.combos != nil {
+				slots := make([]int, len(combo))
+				for j, pos := range combo {
+					slots[j] = s.exp.members[j][pos].slot
+				}
+				if !s.exp.combos.MayContain(slots) {
+					m.ctr.Pruned++
+					return
+				}
+			}
+			m.gheap.Push(m.buildChild(s, pending{combo: combo, bound: bound}))
+			m.ctr.StatesGenerated++
+			return
+		}
+		for p := range s.exp.members[i] {
+			combo[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	m.ctr.ObserveHeap(m.heapSize())
+}
+
+// processLeafState retrieves the member leaves of a leaf state and merges
+// their tuples through the partial-tuple hashtable. Members already
+// retrieved are skipped — redundant states (§5.1.3) thereby cost nothing.
+func (m *Merger) processLeafState(s *state) {
+	for i, idx := range m.indices {
+		if m.acc[i].Retrieved(s.nodes[i]) {
+			continue
+		}
+		dims := idx.Dims()
+		for _, le := range m.acc[i].LeafEntries(s.nodes[i]) {
+			pt, ok := m.partial[le.TID]
+			if !ok {
+				pt = &partialTuple{point: m.indices[0].Domain().Center()}
+				m.partial[le.TID] = pt
+			}
+			for _, d := range dims {
+				pt.point[d] = le.Point[d]
+			}
+			pt.got |= 1 << uint(i)
+			if pt.got == 1<<uint(len(m.indices))-1 {
+				m.topk.Offer(core.Result{TID: le.TID, Score: m.f.Eval(pt.point)})
+				delete(m.partial, le.TID)
+			}
+		}
+	}
+}

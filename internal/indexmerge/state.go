@@ -1,0 +1,411 @@
+// Package indexmerge implements the index-merge paradigm of thesis
+// chapter 5: top-k search over the space of joint states composed of nodes
+// from multiple hierarchical indices, supporting ad hoc (non-monotone)
+// ranking functions. It provides the baseline full-expansion merge (Alg. 4),
+// the double-heap progressive merge with neighborhood and threshold
+// expansion (Alg. 5/6), and join-signature pruning of empty states (§5.3).
+package indexmerge
+
+import (
+	"math"
+
+	"rankcube/internal/heap"
+	"rankcube/internal/hindex"
+	"rankcube/internal/ranking"
+)
+
+// childRef is one expansion candidate of a state member: either a child of
+// a non-leaf member node or the member itself when it is already a leaf
+// ("If Ii.ni is a leaf node, Ii.ni itself is used in the Cartesian
+// products", §5.1.1).
+type childRef struct {
+	id       hindex.NodeID
+	slot     int // 0-based slot in the member node (0 for leaf-self)
+	leafSelf bool
+	box      ranking.Box // composed with the state box
+	bound    float64     // f'(e): lower bound with other members at state box
+}
+
+// state is one joint state (n1, …, nm).
+type state struct {
+	nodes []hindex.NodeID
+	box   ranking.Box
+	bound float64
+	leaf  bool // all members are leaves
+	exp   *expansion
+}
+
+// expansion holds a state's progressive get_next machinery (§5.2).
+type expansion struct {
+	members  [][]childRef
+	lheap    *heap.Heap[pending]
+	strategy expandKind
+	// threshold positions, one per member (next list index to introduce).
+	ts []int
+	// pruner combo tester for this state (nil = no pruning).
+	combos ComboTester
+	// dead marks a state whose signature lookup failed: a bloom false
+	// positive being corrected (§5.3.3).
+	dead bool
+}
+
+type expandKind int
+
+const (
+	expandThreshold expandKind = iota
+	expandNeighborhood
+)
+
+// pending is one generated-but-not-returned child combo in a local heap.
+type pending struct {
+	combo []int
+	bound float64
+	empty bool // known-empty (kept for neighborhood traversal only)
+}
+
+func lessPending(a, b pending) bool {
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	// Deterministic tie-break on combo lexicographic order.
+	for i := range a.combo {
+		if a.combo[i] != b.combo[i] {
+			return a.combo[i] < b.combo[i]
+		}
+	}
+	return false
+}
+
+// composeBox intersects the state box with a child's box (per dimension).
+func composeBox(stateBox, childBox ranking.Box) ranking.Box {
+	out := stateBox.Clone()
+	for d := range out.Lo {
+		if childBox.Lo[d] > out.Lo[d] {
+			out.Lo[d] = childBox.Lo[d]
+		}
+		if childBox.Hi[d] < out.Hi[d] {
+			out.Hi[d] = childBox.Hi[d]
+		}
+	}
+	return out
+}
+
+// init prepares a state for progressive expansion: member child lists with
+// f' bounds, the expansion strategy, and the state's signature tester.
+func (m *Merger) initExpansion(s *state) {
+	exp := &expansion{lheap: heap.New[pending](lessPending)}
+	s.exp = exp
+
+	if m.pruner != nil {
+		paths := make([][]int, len(m.indices))
+		for i, idx := range m.indices {
+			paths[i] = idx.Path(s.nodes[i])
+		}
+		tester, known := m.pruner.Load(paths, m.ctr)
+		if !known {
+			// The state was reached through a bloom false positive; it is
+			// empty (§5.3.3) and produces no children.
+			exp.dead = true
+			return
+		}
+		exp.combos = tester
+	}
+
+	exp.members = make([][]childRef, len(m.indices))
+	for i, idx := range m.indices {
+		nid := s.nodes[i]
+		if idx.IsLeaf(nid) {
+			exp.members[i] = []childRef{{
+				id: nid, slot: 0, leafSelf: true, box: s.box,
+				bound: s.bound,
+			}}
+			continue
+		}
+		children := m.acc[i].Children(nid)
+		refs := make([]childRef, len(children))
+		for slot, ch := range children {
+			box := composeBox(s.box, ch.Box)
+			refs[slot] = childRef{
+				id:    ch.ID,
+				slot:  slot,
+				box:   box,
+				bound: m.f.LowerBound(box),
+			}
+		}
+		exp.members[i] = refs
+	}
+
+	if m.useNeighborhood(s) {
+		exp.strategy = expandNeighborhood
+		m.orderForNeighborhood(exp)
+		exp.seedNeighborhood(m)
+	} else {
+		exp.strategy = expandThreshold
+		m.orderByBound(exp)
+		exp.ts = make([]int, len(exp.members))
+		for i := range exp.ts {
+			exp.ts[i] = 1
+		}
+		exp.push(m, make([]int, len(exp.members)))
+	}
+}
+
+// useNeighborhood decides whether neighborhood expansion applies: the
+// function must be monotone or semi-monotone and every non-leaf member must
+// come from a value-ordered (B+-tree) index (§5.2.2).
+func (m *Merger) useNeighborhood(s *state) bool {
+	if m.opts.DisableNeighborhood {
+		return false
+	}
+	_, mono := m.f.(ranking.Monotone)
+	_, semi := m.f.(ranking.SemiMonotone)
+	if !mono && !semi {
+		return false
+	}
+	for i, idx := range m.indices {
+		if idx.IsLeaf(s.nodes[i]) {
+			continue
+		}
+		vo, ok := idx.(hindex.ValueOrdered)
+		if !ok || !vo.ValueOrdered() {
+			return false
+		}
+	}
+	return true
+}
+
+// orderByBound sorts each member's children ascending by f' (threshold
+// expansion's sorted lists, §5.2.3).
+func (m *Merger) orderByBound(exp *expansion) {
+	for i := range exp.members {
+		refs := exp.members[i]
+		insertionSortBy(refs, func(a, b childRef) bool {
+			if a.bound != b.bound {
+				return a.bound < b.bound
+			}
+			return a.slot < b.slot
+		})
+	}
+}
+
+// orderForNeighborhood sorts each member's children so that f' is
+// non-decreasing along the sequence: ascending or descending attribute order
+// for monotone functions, distance-from-extreme order for semi-monotone
+// ones. Since f' itself is computed from box lower bounds, sorting by f'
+// (ties by value order) realizes both cases.
+func (m *Merger) orderForNeighborhood(exp *expansion) {
+	m.orderByBound(exp)
+}
+
+// seedNeighborhood pushes the initial state (all members at sequence
+// position 0).
+func (exp *expansion) seedNeighborhood(m *Merger) {
+	exp.push(m, make([]int, len(exp.members)))
+}
+
+// push creates a pending child combo, consulting the pruner. Empty combos
+// are dropped under threshold expansion and kept (marked) under
+// neighborhood expansion, where they are still needed to reach their
+// neighbors (§5.3.3).
+func (exp *expansion) push(m *Merger, combo []int) {
+	empty := false
+	if exp.combos != nil {
+		slots := make([]int, len(combo))
+		for i, pos := range combo {
+			slots[i] = exp.members[i][pos].slot
+		}
+		if !exp.combos.MayContain(slots) {
+			if exp.strategy == expandThreshold {
+				m.ctr.Pruned++
+				return
+			}
+			empty = true
+			m.ctr.Pruned++
+		}
+	}
+	bound := exp.comboBound(m, combo)
+	if math.IsInf(bound, 1) {
+		return
+	}
+	c := append([]int(nil), combo...)
+	exp.lheap.Push(pending{combo: c, bound: bound, empty: empty})
+	m.ctr.StatesGenerated++
+	m.ctr.ObserveHeap(m.heapSize())
+}
+
+// comboBound computes f over the joint box of a child combo.
+func (exp *expansion) comboBound(m *Merger, combo []int) float64 {
+	box := exp.members[0][combo[0]].box
+	if len(combo) > 1 {
+		box = box.Clone()
+		for i := 1; i < len(combo); i++ {
+			box = composeBox(box, exp.members[i][combo[i]].box)
+		}
+	}
+	return m.f.LowerBound(box)
+}
+
+// getNext produces the state's next best child, or nil when exhausted
+// (§5.2.1's S.get_next interface).
+func (m *Merger) getNext(s *state) *state {
+	exp := s.exp
+	if exp.dead {
+		return nil
+	}
+	switch exp.strategy {
+	case expandNeighborhood:
+		return m.nextNeighborhood(s)
+	default:
+		return m.nextThreshold(s)
+	}
+}
+
+// nextNeighborhood pops the best pending combo and pushes its staircase
+// neighbors: coordinate c may advance only when all later coordinates are
+// at their start, which enumerates every combo exactly once without a
+// duplicate hash table.
+func (m *Merger) nextNeighborhood(s *state) *state {
+	exp := s.exp
+	for exp.lheap.Len() > 0 {
+		p := exp.lheap.Pop()
+		for c := 0; c < len(p.combo); c++ {
+			if p.combo[c]+1 >= len(exp.members[c]) {
+				continue
+			}
+			ok := true
+			for j := c + 1; j < len(p.combo); j++ {
+				if p.combo[j] != 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			p.combo[c]++
+			exp.push(m, p.combo)
+			p.combo[c]--
+		}
+		if p.empty {
+			continue
+		}
+		return m.buildChild(s, p)
+	}
+	return nil
+}
+
+// nextThreshold runs the sort-merge search of §5.2.3: it returns the local
+// heap root once no future combo can beat it, advancing the member with the
+// best threshold bound otherwise.
+func (m *Merger) nextThreshold(s *state) *state {
+	exp := s.exp
+	for {
+		thr := math.Inf(1)
+		best := -1
+		for i, t := range exp.ts {
+			if t >= len(exp.members[i]) {
+				continue
+			}
+			if b := exp.members[i][t].bound; b < thr {
+				thr, best = b, i
+			}
+		}
+		if exp.lheap.Len() > 0 && exp.lheap.Min().bound <= thr {
+			p := exp.lheap.Pop()
+			return m.buildChild(s, p)
+		}
+		if best < 0 {
+			if exp.lheap.Len() == 0 {
+				return nil
+			}
+			p := exp.lheap.Pop()
+			return m.buildChild(s, p)
+		}
+		// Advance member best: generate the Cartesian band
+		// [0..t_j−1] × … × [t_best] × … (§5.2.3).
+		m.generateBand(exp, best)
+		exp.ts[best]++
+	}
+}
+
+// generateBand pushes all combos whose coordinate at member s equals
+// ts[s] and whose other coordinates are below their thresholds.
+func (m *Merger) generateBand(exp *expansion, s int) {
+	combo := make([]int, len(exp.members))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(exp.members) {
+			exp.push(m, combo)
+			return
+		}
+		if i == s {
+			combo[i] = exp.ts[s]
+			rec(i + 1)
+			return
+		}
+		limit := exp.ts[i]
+		if limit > len(exp.members[i]) {
+			limit = len(exp.members[i])
+		}
+		for p := 0; p < limit; p++ {
+			combo[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// peekBound reports the bound of the state's next child (+Inf when
+// exhausted for neighborhood; threshold states may still surface future
+// combos bounded by the threshold value).
+func (exp *expansion) peekBound() float64 {
+	bound := math.Inf(1)
+	if exp.dead {
+		return bound
+	}
+	if exp.lheap.Len() > 0 {
+		bound = exp.lheap.Min().bound
+	}
+	if exp.strategy == expandThreshold {
+		for i, t := range exp.ts {
+			if t < len(exp.members[i]) {
+				if b := exp.members[i][t].bound; b < bound {
+					bound = b
+				}
+			}
+		}
+	}
+	return bound
+}
+
+// buildChild materializes a state from a pending combo.
+func (m *Merger) buildChild(parent *state, p pending) *state {
+	exp := parent.exp
+	nodes := make([]hindex.NodeID, len(p.combo))
+	box := exp.members[0][p.combo[0]].box
+	if len(p.combo) > 1 {
+		box = box.Clone()
+	}
+	leaf := true
+	for i, pos := range p.combo {
+		ref := exp.members[i][pos]
+		nodes[i] = ref.id
+		if i > 0 {
+			box = composeBox(box, ref.box)
+		}
+		if !m.indices[i].IsLeaf(ref.id) {
+			leaf = false
+		}
+	}
+	return &state{nodes: nodes, box: box, bound: p.bound, leaf: leaf}
+}
+
+// insertionSortBy sorts small slices in place (member lists are at most the
+// fanout; avoids sort.Slice's interface allocations on the hot path).
+func insertionSortBy(refs []childRef, less func(a, b childRef) bool) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && less(refs[j], refs[j-1]); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}

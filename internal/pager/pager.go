@@ -1,0 +1,165 @@
+// Package pager simulates block-oriented secondary storage.
+//
+// The thesis evaluates every structure (cuboids, base-block tables, B+-trees,
+// R-trees, signatures) in terms of block-level access with a 4 KB page size.
+// This package provides an in-memory page store whose reads are counted
+// through stats.Counters, plus an optional LRU buffer pool so that repeated
+// access to a hot page within one query is not double counted — matching the
+// buffering behaviour the thesis assumes ("we buffered the bid and tid lists
+// retrieved so far", §3.3.2).
+package pager
+
+import "rankcube/internal/stats"
+
+// PageSize is the default page size in bytes used throughout the repository,
+// matching the thesis experimental setting (§4.4.1).
+const PageSize = 4096
+
+// PageID identifies a page within one Store.
+type PageID int32
+
+// Invalid is the zero-value "no page" sentinel.
+const Invalid PageID = -1
+
+// Store is an append-only collection of pages belonging to one storage
+// structure. Page payloads are opaque to the pager; structures typically
+// store encoded bytes or, for structures whose size experiments do not need
+// byte-exact encoding, record only a logical payload size.
+type Store struct {
+	kind     stats.Structure
+	pageSize int
+	pages    [][]byte
+	sizes    []int
+}
+
+// NewStore returns an empty store labelled with the structure kind used for
+// read accounting.
+func NewStore(kind stats.Structure, pageSize int) *Store {
+	if pageSize <= 0 {
+		pageSize = PageSize
+	}
+	return &Store{kind: kind, pageSize: pageSize}
+}
+
+// Kind reports the structure label of this store.
+func (s *Store) Kind() stats.Structure { return s.kind }
+
+// PageSize reports the configured page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Append writes data as a new page and returns its id. Payloads larger than
+// the page size are permitted; they count as multiple blocks on read
+// (ceil(len/pageSize)), modelling multi-page overflow records.
+func (s *Store) Append(data []byte) PageID {
+	id := PageID(len(s.pages))
+	s.pages = append(s.pages, data)
+	s.sizes = append(s.sizes, len(data))
+	return id
+}
+
+// AppendLogical records a page holding size logical bytes without storing a
+// payload. Used by structures whose contents live in native Go form but whose
+// block I/O and footprint must still be accounted.
+func (s *Store) AppendLogical(size int) PageID {
+	id := PageID(len(s.pages))
+	s.pages = append(s.pages, nil)
+	s.sizes = append(s.sizes, size)
+	return id
+}
+
+// Overwrite replaces the payload of an existing page (incremental
+// maintenance rewrites signature pages in place).
+func (s *Store) Overwrite(id PageID, data []byte) {
+	s.pages[id] = data
+	s.sizes[id] = len(data)
+}
+
+// Resize updates the logical size of a payload-free page (cells grow under
+// incremental maintenance).
+func (s *Store) Resize(id PageID, size int) {
+	s.sizes[id] = size
+}
+
+// Read fetches the payload of page id, charging the read to c.
+func (s *Store) Read(id PageID, c *stats.Counters) []byte {
+	c.Read(s.kind, s.blocksOf(id))
+	return s.pages[id]
+}
+
+// Touch charges a read of page id without returning a payload (for
+// logical-size pages).
+func (s *Store) Touch(id PageID, c *stats.Counters) {
+	c.Read(s.kind, s.blocksOf(id))
+}
+
+// ReadRaw returns a page payload without charging any read — for size
+// accounting and maintenance bookkeeping, not query paths.
+func (s *Store) ReadRaw(id PageID) []byte { return s.pages[id] }
+
+// NumPages reports how many pages have been appended.
+func (s *Store) NumPages() int { return len(s.pages) }
+
+// Bytes reports the total logical bytes stored.
+func (s *Store) Bytes() int64 {
+	var t int64
+	for _, sz := range s.sizes {
+		t += int64(sz)
+	}
+	return t
+}
+
+// Blocks reports the total number of disk blocks the store occupies.
+func (s *Store) Blocks() int64 {
+	var t int64
+	for id := range s.pages {
+		t += s.blocksOf(PageID(id))
+	}
+	return t
+}
+
+func (s *Store) blocksOf(id PageID) int64 {
+	sz := s.sizes[id]
+	if sz <= 0 {
+		return 1
+	}
+	return int64((sz + s.pageSize - 1) / s.pageSize)
+}
+
+// Buffer is a per-query buffer pool: the first access to a page is charged,
+// repeats are free. The thesis' query algorithms buffer retrieved blocks for
+// the duration of one query.
+type Buffer struct {
+	store *Store
+	seen  map[PageID]struct{}
+}
+
+// NewBuffer wraps store with a fresh (empty) per-query buffer.
+func NewBuffer(store *Store) *Buffer {
+	return &Buffer{store: store, seen: make(map[PageID]struct{})}
+}
+
+// Read fetches a page, charging only the first access to c.
+func (b *Buffer) Read(id PageID, c *stats.Counters) []byte {
+	if _, ok := b.seen[id]; !ok {
+		b.seen[id] = struct{}{}
+		return b.store.Read(id, c)
+	}
+	return b.store.pages[id]
+}
+
+// Touch charges the first access of page id to c.
+func (b *Buffer) Touch(id PageID, c *stats.Counters) {
+	if _, ok := b.seen[id]; !ok {
+		b.seen[id] = struct{}{}
+		b.store.Touch(id, c)
+	}
+}
+
+// Hits reports how many distinct pages have been accessed through the buffer.
+func (b *Buffer) Hits() int { return len(b.seen) }
+
+// Seen reports whether page id has already been accessed through the buffer.
+func (b *Buffer) Seen(id PageID) bool {
+	_, ok := b.seen[id]
+	return ok
+}

@@ -1,0 +1,85 @@
+package pager
+
+import (
+	"testing"
+
+	"rankcube/internal/stats"
+)
+
+func TestStoreAppendRead(t *testing.T) {
+	s := NewStore(stats.StructCube, 64)
+	id := s.Append([]byte("hello"))
+	ctr := stats.New()
+	if got := string(s.Read(id, ctr)); got != "hello" {
+		t.Fatalf("Read = %q", got)
+	}
+	if ctr.Reads(stats.StructCube) != 1 {
+		t.Fatalf("reads = %d", ctr.Reads(stats.StructCube))
+	}
+	if s.NumPages() != 1 || s.Bytes() != 5 {
+		t.Fatalf("NumPages=%d Bytes=%d", s.NumPages(), s.Bytes())
+	}
+}
+
+func TestMultiBlockCharge(t *testing.T) {
+	s := NewStore(stats.StructCube, 64)
+	id := s.AppendLogical(200) // 200 bytes over 64-byte pages = 4 blocks
+	ctr := stats.New()
+	s.Touch(id, ctr)
+	if got := ctr.Reads(stats.StructCube); got != 4 {
+		t.Fatalf("blocks charged = %d, want 4", got)
+	}
+	if s.Blocks() != 4 {
+		t.Fatalf("Blocks = %d", s.Blocks())
+	}
+}
+
+func TestZeroSizePageChargesOne(t *testing.T) {
+	s := NewStore(stats.StructCube, 64)
+	id := s.AppendLogical(0)
+	ctr := stats.New()
+	s.Touch(id, ctr)
+	if ctr.Reads(stats.StructCube) != 1 {
+		t.Fatalf("zero-size page charged %d", ctr.Reads(stats.StructCube))
+	}
+}
+
+func TestBufferDeduplicates(t *testing.T) {
+	s := NewStore(stats.StructRTree, 64)
+	a := s.Append([]byte{1})
+	b := s.Append([]byte{2})
+	buf := NewBuffer(s)
+	ctr := stats.New()
+	buf.Read(a, ctr)
+	buf.Read(a, ctr)
+	buf.Touch(b, ctr)
+	buf.Touch(b, ctr)
+	if got := ctr.Reads(stats.StructRTree); got != 2 {
+		t.Fatalf("reads = %d, want 2 (one per distinct page)", got)
+	}
+	if buf.Hits() != 2 {
+		t.Fatalf("Hits = %d", buf.Hits())
+	}
+	if !buf.Seen(a) || buf.Seen(PageID(99)) {
+		t.Fatal("Seen mismatch")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := NewStore(stats.StructSignature, 64)
+	id := s.Append([]byte("old"))
+	s.Overwrite(id, []byte("newer"))
+	if got := string(s.ReadRaw(id)); got != "newer" {
+		t.Fatalf("ReadRaw = %q", got)
+	}
+	if s.Bytes() != 5 {
+		t.Fatalf("Bytes = %d after overwrite", s.Bytes())
+	}
+}
+
+func TestNilCountersSafe(t *testing.T) {
+	s := NewStore(stats.StructTable, 64)
+	id := s.Append([]byte("x"))
+	s.Read(id, nil) // must not panic
+	s.Touch(id, nil)
+}

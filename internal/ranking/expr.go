@@ -1,0 +1,164 @@
+package ranking
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a scoring expression over ranking attributes. Var indices refer to
+// ranking-dimension positions, matching Box dimensions.
+type Expr interface {
+	// Eval computes the expression at point x.
+	Eval(x []float64) float64
+	// Bound computes a sound enclosure of the expression's range over box.
+	Bound(box Box) Interval
+	// String renders the expression for diagnostics.
+	String() string
+}
+
+// Var references ranking dimension int(v).
+type Var int
+
+// Eval implements Expr.
+func (v Var) Eval(x []float64) float64 { return x[v] }
+
+// Bound implements Expr.
+func (v Var) Bound(box Box) Interval { return box.Dim(int(v)) }
+
+func (v Var) String() string { return fmt.Sprintf("N%d", int(v)) }
+
+// Const is a constant expression.
+type Const float64
+
+// Eval implements Expr.
+func (c Const) Eval([]float64) float64 { return float64(c) }
+
+// Bound implements Expr.
+func (c Const) Bound(Box) Interval { return Point(float64(c)) }
+
+func (c Const) String() string { return fmt.Sprintf("%g", float64(c)) }
+
+type binary struct {
+	op   byte // '+', '-', '*'
+	l, r Expr
+}
+
+func (b binary) Eval(x []float64) float64 {
+	lv, rv := b.l.Eval(x), b.r.Eval(x)
+	switch b.op {
+	case '+':
+		return lv + rv
+	case '-':
+		return lv - rv
+	default:
+		return lv * rv
+	}
+}
+
+func (b binary) Bound(box Box) Interval {
+	lv, rv := b.l.Bound(box), b.r.Bound(box)
+	switch b.op {
+	case '+':
+		return lv.Add(rv)
+	case '-':
+		return lv.Sub(rv)
+	default:
+		return lv.Mul(rv)
+	}
+}
+
+func (b binary) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.l, b.op, b.r)
+}
+
+type unary struct {
+	op byte // 's' sqr, 'a' abs, 'n' neg
+	e  Expr
+}
+
+func (u unary) Eval(x []float64) float64 {
+	v := u.e.Eval(x)
+	switch u.op {
+	case 's':
+		return v * v
+	case 'a':
+		if v < 0 {
+			return -v
+		}
+		return v
+	default:
+		return -v
+	}
+}
+
+func (u unary) Bound(box Box) Interval {
+	v := u.e.Bound(box)
+	switch u.op {
+	case 's':
+		return v.Sqr()
+	case 'a':
+		return v.Abs()
+	default:
+		return v.Neg()
+	}
+}
+
+func (u unary) String() string {
+	switch u.op {
+	case 's':
+		return fmt.Sprintf("(%s)^2", u.e)
+	case 'a':
+		return fmt.Sprintf("|%s|", u.e)
+	default:
+		return fmt.Sprintf("-(%s)", u.e)
+	}
+}
+
+// Add returns l + r (variadic sums fold left).
+func Add(terms ...Expr) Expr {
+	if len(terms) == 0 {
+		return Const(0)
+	}
+	e := terms[0]
+	for _, t := range terms[1:] {
+		e = binary{'+', e, t}
+	}
+	return e
+}
+
+// Sub returns l − r.
+func Sub(l, r Expr) Expr { return binary{'-', l, r} }
+
+// Mul returns l × r.
+func Mul(l, r Expr) Expr { return binary{'*', l, r} }
+
+// Sqr returns e².
+func Sqr(e Expr) Expr { return unary{'s', e} }
+
+// Abs returns |e|.
+func Abs(e Expr) Expr { return unary{'a', e} }
+
+// Neg returns −e.
+func Neg(e Expr) Expr { return unary{'n', e} }
+
+// Scale returns c × e.
+func Scale(c float64, e Expr) Expr { return binary{'*', Const(c), e} }
+
+// vars collects the set of dimensions referenced by e into set.
+func vars(e Expr, set map[int]struct{}) {
+	switch t := e.(type) {
+	case Var:
+		set[int(t)] = struct{}{}
+	case binary:
+		vars(t.l, set)
+		vars(t.r, set)
+	case unary:
+		vars(t.e, set)
+	}
+}
+
+func exprString(e Expr) string {
+	var b strings.Builder
+	b.WriteString(e.String())
+	return b.String()
+}

@@ -1,0 +1,432 @@
+package ranking
+
+import (
+	"math"
+	"sort"
+)
+
+// Func is the query-time ranking function contract. All engines in this
+// repository assume score-ascending top-k ("users prefer minimal values",
+// thesis §1.2.1) — higher-is-better queries are expressed by negating.
+type Func interface {
+	// Eval scores a full-width ranking vector (indexed by ranking-dimension
+	// position).
+	Eval(x []float64) float64
+	// LowerBound returns a sound lower bound of the function over box — the
+	// f(bid)/f(S) quantity driving every progressive search in the thesis.
+	LowerBound(box Box) float64
+	// Attrs lists the ranking-dimension positions the function references,
+	// sorted ascending.
+	Attrs() []int
+	// String renders the function.
+	String() string
+}
+
+// Convex is implemented by functions guaranteeing convexity over their
+// domain, enabling the grid cube's neighborhood search (thesis Lemma 1).
+type Convex interface {
+	IsConvex() bool
+}
+
+// Minimizer is implemented by functions that can name a point attaining
+// their lower bound within a box; the grid cube uses it to locate the first
+// candidate block (§3.3.2 "Search").
+type Minimizer interface {
+	ArgMin(box Box) []float64
+}
+
+// Monotone is implemented by functions monotone in each referenced attribute
+// over the whole domain; Directions reports +1 (non-decreasing) or −1
+// (non-increasing) per referenced attribute, aligned with Attrs order.
+// Index-merge neighborhood expansion (§5.2.2) requires it.
+type Monotone interface {
+	Directions() []int
+}
+
+// SemiMonotone is implemented by functions that decrease toward and increase
+// away from a single extreme point o per dimension (thesis §5.2.2:
+// f(x) ≤ f(x') whenever |xi−oi| ≤ |x'i−oi| for every i).
+type SemiMonotone interface {
+	Extreme() []float64
+}
+
+// IsConvexFunc reports whether f declares convexity.
+func IsConvexFunc(f Func) bool {
+	c, ok := f.(Convex)
+	return ok && c.IsConvex()
+}
+
+// ---------------------------------------------------------------------------
+// Linear functions: f = b + Σ w_i · N_{a_i}
+// ---------------------------------------------------------------------------
+
+// LinearFunc is a weighted linear combination of ranking attributes. Weights
+// may be negative (thesis Def. 1 note: linear functions are convex with no
+// sign restriction on weights).
+type LinearFunc struct {
+	attrs   []int
+	weights []float64
+	bias    float64
+}
+
+// Linear builds f = Σ weights[i]·N_{attrs[i]}. attrs must be distinct;
+// entries are sorted (with weights permuted to match).
+func Linear(attrs []int, weights []float64) *LinearFunc {
+	if len(attrs) != len(weights) {
+		panic("ranking: Linear attrs/weights length mismatch")
+	}
+	idx := make([]int, len(attrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return attrs[idx[a]] < attrs[idx[b]] })
+	f := &LinearFunc{
+		attrs:   make([]int, len(attrs)),
+		weights: make([]float64, len(weights)),
+	}
+	for i, j := range idx {
+		f.attrs[i] = attrs[j]
+		f.weights[i] = weights[j]
+	}
+	return f
+}
+
+// Sum builds the unweighted sum over the given attributes (e.g. N1+N2).
+func Sum(attrs ...int) *LinearFunc {
+	w := make([]float64, len(attrs))
+	for i := range w {
+		w[i] = 1
+	}
+	return Linear(attrs, w)
+}
+
+// Eval implements Func.
+func (f *LinearFunc) Eval(x []float64) float64 {
+	s := f.bias
+	for i, a := range f.attrs {
+		s += f.weights[i] * x[a]
+	}
+	return s
+}
+
+// LowerBound implements Func with the exact box minimum.
+func (f *LinearFunc) LowerBound(box Box) float64 {
+	s := f.bias
+	for i, a := range f.attrs {
+		w := f.weights[i]
+		if w >= 0 {
+			s += w * box.Lo[a]
+		} else {
+			s += w * box.Hi[a]
+		}
+	}
+	return s
+}
+
+// Attrs implements Func.
+func (f *LinearFunc) Attrs() []int { return f.attrs }
+
+// IsConvex implements Convex.
+func (f *LinearFunc) IsConvex() bool { return true }
+
+// Directions implements Monotone.
+func (f *LinearFunc) Directions() []int {
+	d := make([]int, len(f.weights))
+	for i, w := range f.weights {
+		if w >= 0 {
+			d[i] = 1
+		} else {
+			d[i] = -1
+		}
+	}
+	return d
+}
+
+// ArgMin implements Minimizer.
+func (f *LinearFunc) ArgMin(box Box) []float64 {
+	p := box.Center()
+	for i, a := range f.attrs {
+		if f.weights[i] >= 0 {
+			p[a] = box.Lo[a]
+		} else {
+			p[a] = box.Hi[a]
+		}
+	}
+	return p
+}
+
+// Weights returns the weight vector aligned with Attrs.
+func (f *LinearFunc) Weights() []float64 { return f.weights }
+
+func (f *LinearFunc) String() string {
+	e := Expr(Const(f.bias))
+	terms := []Expr{}
+	if f.bias != 0 {
+		terms = append(terms, e)
+	}
+	for i, a := range f.attrs {
+		terms = append(terms, Scale(f.weights[i], Var(a)))
+	}
+	return exprString(Add(terms...))
+}
+
+// Skewness reports max|w|/min|w|, the query-skewness measure u of thesis
+// Table 3.9.
+func (f *LinearFunc) Skewness() float64 {
+	lo, hi := math.Inf(1), 0.0
+	for _, w := range f.weights {
+		a := math.Abs(w)
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// ---------------------------------------------------------------------------
+// Distance functions: Σ (N_a − t_a)^p for p ∈ {1, 2}
+// ---------------------------------------------------------------------------
+
+// DistFunc scores points by distance to a target (the "expected price 20k,
+// expected mileage 10k" queries of thesis Example 1).
+type DistFunc struct {
+	attrs  []int
+	target []float64
+	l1     bool
+}
+
+// SqDist builds Σ (N_{attrs[i]} − target[i])².
+func SqDist(attrs []int, target []float64) *DistFunc {
+	return newDist(attrs, target, false)
+}
+
+// L1Dist builds Σ |N_{attrs[i]} − target[i]|.
+func L1Dist(attrs []int, target []float64) *DistFunc {
+	return newDist(attrs, target, true)
+}
+
+func newDist(attrs []int, target []float64, l1 bool) *DistFunc {
+	if len(attrs) != len(target) {
+		panic("ranking: distance attrs/target length mismatch")
+	}
+	idx := make([]int, len(attrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return attrs[idx[a]] < attrs[idx[b]] })
+	f := &DistFunc{
+		attrs:  make([]int, len(attrs)),
+		target: make([]float64, len(target)),
+		l1:     l1,
+	}
+	for i, j := range idx {
+		f.attrs[i] = attrs[j]
+		f.target[i] = target[j]
+	}
+	return f
+}
+
+// Eval implements Func.
+func (f *DistFunc) Eval(x []float64) float64 {
+	var s float64
+	for i, a := range f.attrs {
+		d := x[a] - f.target[i]
+		if f.l1 {
+			s += math.Abs(d)
+		} else {
+			s += d * d
+		}
+	}
+	return s
+}
+
+// LowerBound implements Func with the exact box minimum (per-dimension clamp
+// of the target into the box).
+func (f *DistFunc) LowerBound(box Box) float64 {
+	var s float64
+	for i, a := range f.attrs {
+		t := f.target[i]
+		var d float64
+		if t < box.Lo[a] {
+			d = box.Lo[a] - t
+		} else if t > box.Hi[a] {
+			d = t - box.Hi[a]
+		}
+		if f.l1 {
+			s += d
+		} else {
+			s += d * d
+		}
+	}
+	return s
+}
+
+// Attrs implements Func.
+func (f *DistFunc) Attrs() []int { return f.attrs }
+
+// IsConvex implements Convex.
+func (f *DistFunc) IsConvex() bool { return true }
+
+// Extreme implements SemiMonotone: the function is minimal at the target and
+// grows with per-dimension distance from it.
+func (f *DistFunc) Extreme() []float64 {
+	e := make([]float64, maxAttr(f.attrs)+1)
+	for i, a := range f.attrs {
+		e[a] = f.target[i]
+	}
+	return e
+}
+
+// ArgMin implements Minimizer.
+func (f *DistFunc) ArgMin(box Box) []float64 {
+	p := box.Center()
+	for i, a := range f.attrs {
+		t := f.target[i]
+		if t < box.Lo[a] {
+			t = box.Lo[a]
+		} else if t > box.Hi[a] {
+			t = box.Hi[a]
+		}
+		p[a] = t
+	}
+	return p
+}
+
+func (f *DistFunc) String() string {
+	terms := make([]Expr, len(f.attrs))
+	for i, a := range f.attrs {
+		d := Sub(Var(a), Const(f.target[i]))
+		if f.l1 {
+			terms[i] = Abs(d)
+		} else {
+			terms[i] = Sqr(d)
+		}
+	}
+	return exprString(Add(terms...))
+}
+
+func maxAttr(attrs []int) int {
+	m := 0
+	for _, a := range attrs {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// General expression functions with interval-arithmetic bounds
+// ---------------------------------------------------------------------------
+
+// ExprFunc wraps an arbitrary expression tree; lower bounds come from
+// interval arithmetic (sound, possibly loose). It models the thesis' "general
+// query" class, e.g. fg = (A − B²)² (§5.4.2).
+type ExprFunc struct {
+	expr  Expr
+	attrs []int
+}
+
+// General wraps expr as a ranking function.
+func General(expr Expr) *ExprFunc {
+	set := make(map[int]struct{})
+	vars(expr, set)
+	attrs := make([]int, 0, len(set))
+	for a := range set {
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+	return &ExprFunc{expr: expr, attrs: attrs}
+}
+
+// Eval implements Func.
+func (f *ExprFunc) Eval(x []float64) float64 { return f.expr.Eval(x) }
+
+// LowerBound implements Func.
+func (f *ExprFunc) LowerBound(box Box) float64 { return f.expr.Bound(box).Lo }
+
+// Attrs implements Func.
+func (f *ExprFunc) Attrs() []int { return f.attrs }
+
+func (f *ExprFunc) String() string { return f.expr.String() }
+
+// ---------------------------------------------------------------------------
+// Constrained functions: f = inner / η(N_a), η = 1 inside [lo,hi] else 0
+// ---------------------------------------------------------------------------
+
+// ConstrainedFunc is the thesis' fc query class (§5.4.2): the inner score
+// where attribute attr lies within [lo, hi], +Inf outside.
+type ConstrainedFunc struct {
+	inner  Func
+	attr   int
+	lo, hi float64
+	attrs  []int
+}
+
+// Constrained restricts inner to boxes intersecting attr ∈ [lo, hi].
+func Constrained(inner Func, attr int, lo, hi float64) *ConstrainedFunc {
+	attrs := append([]int(nil), inner.Attrs()...)
+	found := false
+	for _, a := range attrs {
+		if a == attr {
+			found = true
+			break
+		}
+	}
+	if !found {
+		attrs = append(attrs, attr)
+		sort.Ints(attrs)
+	}
+	return &ConstrainedFunc{inner: inner, attr: attr, lo: lo, hi: hi, attrs: attrs}
+}
+
+// Eval implements Func.
+func (f *ConstrainedFunc) Eval(x []float64) float64 {
+	if x[f.attr] < f.lo || x[f.attr] > f.hi {
+		return math.Inf(1)
+	}
+	return f.inner.Eval(x)
+}
+
+// LowerBound implements Func: the box is clipped to the constraint band; a
+// box entirely outside the band bounds to +Inf and is pruned.
+func (f *ConstrainedFunc) LowerBound(box Box) float64 {
+	if box.Hi[f.attr] < f.lo || box.Lo[f.attr] > f.hi {
+		return math.Inf(1)
+	}
+	clipped := box.Clone()
+	if clipped.Lo[f.attr] < f.lo {
+		clipped.Lo[f.attr] = f.lo
+	}
+	if clipped.Hi[f.attr] > f.hi {
+		clipped.Hi[f.attr] = f.hi
+	}
+	return f.inner.LowerBound(clipped)
+}
+
+// Attrs implements Func.
+func (f *ConstrainedFunc) Attrs() []int { return f.attrs }
+
+func (f *ConstrainedFunc) String() string {
+	return "(" + f.inner.String() + ") / eta(N" + itoa(f.attr) + ")"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,245 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankcube/internal/hindex"
+	"rankcube/internal/ranking"
+	"rankcube/internal/table"
+)
+
+func genTable(n int, seed int64) *table.Table {
+	return table.Generate(table.GenSpec{T: n, S: 1, R: 3, Card: 4, Seed: seed})
+}
+
+// checkInvariants walks the tree verifying MBR containment, parent links,
+// and that exactly the expected tids are present.
+func checkInvariants(t *testing.T, tr *Tree, want int) {
+	t.Helper()
+	if tr.Root() == hindex.InvalidNode {
+		if want != 0 {
+			t.Fatalf("empty tree, want %d tuples", want)
+		}
+		return
+	}
+	seen := make(map[table.TID]bool)
+	var walk func(id hindex.NodeID, depth int)
+	walk = func(id hindex.NodeID, depth int) {
+		nd := tr.nodes[id]
+		if tr.IsLeaf(id) {
+			if depth != tr.Height() {
+				t.Fatalf("leaf %d at depth %d, height %d", id, depth, tr.Height())
+			}
+			for _, tid := range nd.tids {
+				if seen[tid] {
+					t.Fatalf("tid %d duplicated", tid)
+				}
+				seen[tid] = true
+				if tr.leafOf[tid] != id {
+					t.Fatalf("leafOf[%d] = %d, want %d", tid, tr.leafOf[tid], id)
+				}
+			}
+			return
+		}
+		for pos, kid := range nd.kids {
+			child := tr.nodes[kid]
+			if child.parent != id || child.posInParent != pos {
+				t.Fatalf("back-link broken: node %d pos %d", kid, pos)
+			}
+			// Parent entry rect must cover the child's MBR.
+			cm := child.mbr()
+			pr := nd.rects[pos]
+			for d := 0; d < tr.d; d++ {
+				if cm.lo[d] < pr.lo[d]-1e-12 || cm.hi[d] > pr.hi[d]+1e-12 {
+					t.Fatalf("entry rect does not cover child %d", kid)
+				}
+			}
+			walk(kid, depth+1)
+		}
+	}
+	walk(tr.Root(), 1)
+	if len(seen) != want {
+		t.Fatalf("found %d tuples, want %d", len(seen), want)
+	}
+}
+
+func TestBulkInvariants(t *testing.T) {
+	tb := genTable(5000, 21)
+	tr := Bulk(tb, []int{0, 1, 2}, ranking.UnitBox(3), Config{Fanout: 16})
+	checkInvariants(t, tr, 5000)
+	if tr.Height() < 2 {
+		t.Fatalf("Height = %d for 5000 tuples, fanout 16", tr.Height())
+	}
+}
+
+func TestBulkFanoutFromPage(t *testing.T) {
+	tb := genTable(100, 1)
+	tr := Bulk(tb, []int{0, 1}, ranking.UnitBox(3), Config{})
+	if tr.MaxFanout() != 204 {
+		t.Fatalf("2-d fanout = %d, want 204", tr.MaxFanout())
+	}
+	tb5 := table.Generate(table.GenSpec{T: 100, S: 1, R: 5, Card: 4, Seed: 1})
+	tr5 := Bulk(tb5, []int{0, 1, 2, 3, 4}, ranking.UnitBox(5), Config{})
+	if tr5.MaxFanout() != 93 {
+		t.Fatalf("5-d fanout = %d, want 93", tr5.MaxFanout())
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	tb := genTable(2000, 22)
+	tr := New([]int{0, 1}, 3, ranking.UnitBox(3), Config{Fanout: 8})
+	for i := 0; i < tb.Len(); i++ {
+		pt := tb.RankRow(table.TID(i), nil)
+		tr.Insert(table.TID(i), pt)
+	}
+	checkInvariants(t, tr, 2000)
+}
+
+func TestInsertAffectedSetSound(t *testing.T) {
+	// Paths of tuples NOT in the affected set must be unchanged by the
+	// insert — the property signature maintenance depends on (§4.2.5).
+	tb := genTable(600, 23)
+	tr := New([]int{0, 1, 2}, 3, ranking.UnitBox(3), Config{Fanout: 6})
+	paths := make(map[table.TID]string)
+	for i := 0; i < tb.Len(); i++ {
+		tid := table.TID(i)
+		affected := tr.Insert(tid, tb.RankRow(tid, nil))
+		aset := make(map[table.TID]bool, len(affected))
+		for _, a := range affected {
+			aset[a] = true
+		}
+		if !aset[tid] {
+			t.Fatalf("inserted tid %d not in affected set", tid)
+		}
+		for old, p := range paths {
+			if !aset[old] {
+				if got := hindex.PathKey(tr.TuplePath(old)); got != p {
+					t.Fatalf("insert %d silently moved tuple %d", tid, old)
+				}
+			}
+		}
+		for _, a := range affected {
+			paths[a] = hindex.PathKey(tr.TuplePath(a))
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := genTable(800, 24)
+	tr := New([]int{0, 1}, 3, ranking.UnitBox(3), Config{Fanout: 8})
+	for i := 0; i < tb.Len(); i++ {
+		tr.Insert(table.TID(i), tb.RankRow(table.TID(i), nil))
+	}
+	rng := rand.New(rand.NewSource(4))
+	alive := make(map[table.TID]bool, tb.Len())
+	for i := 0; i < tb.Len(); i++ {
+		alive[table.TID(i)] = true
+	}
+	for i := 0; i < 400; i++ {
+		tid := table.TID(rng.Intn(tb.Len()))
+		_, ok := tr.Delete(tid)
+		if ok != alive[tid] {
+			t.Fatalf("Delete(%d) ok=%v want %v", tid, ok, alive[tid])
+		}
+		delete(alive, tid)
+	}
+	checkInvariants(t, tr, len(alive))
+	if _, ok := tr.Delete(table.TID(tb.Len() + 5)); ok {
+		t.Fatal("deleted nonexistent tuple")
+	}
+}
+
+func TestDeleteAffectedSetSound(t *testing.T) {
+	tb := genTable(300, 25)
+	tr := New([]int{0, 1}, 3, ranking.UnitBox(3), Config{Fanout: 5})
+	for i := 0; i < tb.Len(); i++ {
+		tr.Insert(table.TID(i), tb.RankRow(table.TID(i), nil))
+	}
+	paths := make(map[table.TID]string)
+	for i := 0; i < tb.Len(); i++ {
+		paths[table.TID(i)] = hindex.PathKey(tr.TuplePath(table.TID(i)))
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		tid := table.TID(rng.Intn(tb.Len()))
+		affected, ok := tr.Delete(tid)
+		if !ok {
+			continue
+		}
+		aset := map[table.TID]bool{tid: true}
+		for _, a := range affected {
+			aset[a] = true
+		}
+		for old, p := range paths {
+			if aset[old] {
+				continue
+			}
+			if got := hindex.PathKey(tr.TuplePath(old)); got != p {
+				t.Fatalf("delete %d silently moved tuple %d", tid, old)
+			}
+		}
+		delete(paths, tid)
+		for _, a := range affected {
+			if a != tid {
+				paths[a] = hindex.PathKey(tr.TuplePath(a))
+			}
+		}
+	}
+}
+
+func TestTuplePathResolves(t *testing.T) {
+	tb := genTable(1000, 26)
+	tr := Bulk(tb, []int{0, 1}, ranking.UnitBox(3), Config{Fanout: 8})
+	for i := 0; i < tb.Len(); i += 37 {
+		tid := table.TID(i)
+		path := tr.TuplePath(tid)
+		// A leaf's node path has Height−1 positions; the tuple adds its
+		// leaf slot, giving Height positions total (thesis fig. 4.1:
+		// 3-level tree, tuple paths ⟨p0,p1,p2⟩).
+		if len(path) != tr.Height() {
+			t.Fatalf("tuple path len %d, want height = %d", len(path), tr.Height())
+		}
+		// Follow the path down to the leaf slot and verify the tid.
+		id := tr.Root()
+		for _, p := range path[:len(path)-1] {
+			id = tr.nodes[id].kids[p-1]
+		}
+		slot := path[len(path)-1] - 1
+		if tr.nodes[id].tids[slot] != tid {
+			t.Fatalf("path %v resolves to tid %d, want %d", path, tr.nodes[id].tids[slot], tid)
+		}
+	}
+}
+
+func TestNodeBoxContainsPoints(t *testing.T) {
+	tb := genTable(2000, 27)
+	tr := Bulk(tb, []int{0, 2}, ranking.UnitBox(3), Config{Fanout: 12})
+	var walk func(id hindex.NodeID)
+	walk = func(id hindex.NodeID) {
+		box := tr.NodeBox(id)
+		if tr.IsLeaf(id) {
+			for _, e := range tr.LeafEntries(id) {
+				for _, dim := range tr.Dims() {
+					if e.Point[dim] < box.Lo[dim]-1e-12 || e.Point[dim] > box.Hi[dim]+1e-12 {
+						t.Fatalf("point outside leaf box on dim %d", dim)
+					}
+				}
+			}
+			return
+		}
+		for _, ch := range tr.Children(id) {
+			walk(ch.ID)
+		}
+	}
+	walk(tr.Root())
+}
+
+func TestUncoveredDimsSpanDomain(t *testing.T) {
+	tb := genTable(500, 28)
+	tr := Bulk(tb, []int{1}, ranking.UnitBox(3), Config{Fanout: 8})
+	box := tr.NodeBox(tr.Root())
+	if box.Lo[0] != 0 || box.Hi[0] != 1 || box.Lo[2] != 0 || box.Hi[2] != 1 {
+		t.Fatalf("uncovered dims don't span domain: %v..%v", box.Lo, box.Hi)
+	}
+}

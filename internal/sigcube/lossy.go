@@ -1,0 +1,124 @@
+package sigcube
+
+import (
+	"rankcube/internal/bloom"
+	"rankcube/internal/core"
+	"rankcube/internal/hindex"
+	"rankcube/internal/pager"
+	"rankcube/internal/ranking"
+	"rankcube/internal/signature"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Lossy signatures (thesis §4.5): instead of the exact bit-tree, a cell
+// stores a bloom filter over the SIDs of its marked nodes and tuples.
+// Membership tests have false positives but no false negatives, so pruning
+// stays sound for internal nodes; tuple-level hits are re-verified against
+// the relation by random access ("we need the boolean verification step").
+// The trade-off — smaller measure, extra verification I/O — is quantified
+// by the ext.bloom experiment.
+
+// bloomCell is one cell's lossy measure.
+type bloomCell struct {
+	filter *bloom.Filter
+	page   pager.PageID
+	fanout int
+}
+
+// Test implements signature.Tester.
+func (bc *bloomCell) Test(path []int) bool {
+	if len(path) == 0 {
+		return true
+	}
+	return bc.filter.MayContain(hindex.SID(path, bc.fanout))
+}
+
+// loadedBloomCell charges the filter's page once per query view.
+type loadedBloomCell struct {
+	cell   *bloomCell
+	buf    *pager.Buffer
+	ctr    *stats.Counters
+	loaded bool
+}
+
+func (l *loadedBloomCell) Test(path []int) bool {
+	if !l.loaded {
+		l.buf.Touch(l.cell.page, l.ctr)
+		l.loaded = true
+	}
+	return l.cell.Test(path)
+}
+
+// buildBloomCell constructs the lossy measure for one cell from its tuple
+// paths: every marked SID (all path prefixes) is inserted.
+func (c *Cube) buildBloomCell(paths [][]int) *bloomCell {
+	fanout := c.rt.MaxFanout()
+	sids := make(map[uint64]struct{})
+	for _, p := range paths {
+		for i := 1; i <= len(p); i++ {
+			sids[hindex.SID(p[:i], fanout)] = struct{}{}
+		}
+	}
+	// The thesis bounds filters at a page (§4.5 builds on §5.3.1's sizing).
+	f := bloom.NewOptimal(len(sids), c.store.PageSize()*8, 8)
+	for sid := range sids {
+		f.Add(sid)
+	}
+	page := c.store.AppendLogical((f.Bits() + 7) / 8)
+	return &bloomCell{filter: f, page: page, fanout: fanout}
+}
+
+// lossyTesterFor assembles the bloom tester for a conjunctive condition.
+// The bool result is false when a required cell is absent (no tuple can
+// match).
+func (c *Cube) lossyTesterFor(cond map[int]int32, ctr *stats.Counters) (signature.Tester, bool) {
+	var testers signature.And
+	for d, v := range cond {
+		cb := c.Cuboid([]int{d})
+		if cb == nil {
+			return nil, false
+		}
+		bc, ok := cb.blooms[cb.cellKey([]int32{v})]
+		if !ok {
+			return nil, false
+		}
+		testers = append(testers, &loadedBloomCell{cell: bc, buf: pager.NewBuffer(c.store), ctr: ctr})
+	}
+	if len(testers) == 0 {
+		return signature.True{}, true
+	}
+	return testers, true
+}
+
+// lossyVerifier re-checks full tuple paths against the relation (random
+// access, charged); internal nodes pass through.
+type lossyVerifier struct {
+	c    *Cube
+	cond map[int]int32
+	ctr  *stats.Counters
+}
+
+// Test implements signature.Tester.
+func (v lossyVerifier) Test(path []int) bool {
+	if len(path) < v.c.rt.Height() {
+		return true
+	}
+	tid, ok := v.c.rt.TIDAt(path)
+	if !ok {
+		return false
+	}
+	v.ctr.Read(stats.StructTable, 1)
+	return v.c.t.Matches(tid, v.cond)
+}
+
+// verifyingSearch runs Alg. 3 with a tuple-level re-verification hook: the
+// lossy measure may pass non-matching tuples, which are then rejected by a
+// charged random access to the relation.
+func (c *Cube) verifyingSearch(tester signature.Tester, cond map[int]int32, f ranking.Func, k int, ctr *stats.Counters) []core.Result {
+	verify := func(tid table.TID) bool {
+		ctr.Read(stats.StructTable, 1)
+		return c.t.Matches(tid, cond)
+	}
+	return searchTopK(c.rt, tester, verify, f, k, ctr)
+}

@@ -1,0 +1,139 @@
+package sigcube
+
+import (
+	"rankcube/internal/hindex"
+	"rankcube/internal/signature"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// pathUpdate is one element of the update set U of Alg. 2: a tuple with its
+// old partition path (nil for a fresh insert) and new path (nil for a
+// delete).
+type pathUpdate struct {
+	tid      table.TID
+	old, new []int
+}
+
+// Insert appends a tuple to the relation, inserts it into the partition
+// tree, and incrementally maintains every materialized signature (Alg. 2).
+// It returns the new tuple's id. Maintenance I/O is charged to ctr.
+func (c *Cube) Insert(sel []int32, rank []float64, ctr *stats.Counters) table.TID {
+	mt := c.maintainable()
+	tid := c.t.Append(sel, rank)
+	affected := mt.Insert(tid, rank)
+	updates := make([]pathUpdate, 0, len(affected))
+	for _, a := range affected {
+		newPath := c.rt.TuplePath(a)
+		oldPath := c.paths[a]
+		if a != tid && hindex.PathKey(oldPath) == hindex.PathKey(newPath) {
+			continue // split kept this tuple's slot: nothing to flip
+		}
+		updates = append(updates, pathUpdate{tid: a, old: oldPath, new: newPath})
+	}
+	c.applyUpdates(updates, ctr)
+	return tid
+}
+
+// Delete removes a tuple from the partition tree and maintains signatures.
+// The relation itself retains the row (tombstoned by absence from the tree),
+// matching how the thesis treats deletion as the mirror of insertion.
+func (c *Cube) Delete(tid table.TID, ctr *stats.Counters) bool {
+	affected, ok := c.maintainable().Delete(tid)
+	if !ok {
+		return false
+	}
+	updates := []pathUpdate{{tid: tid, old: c.paths[tid], new: nil}}
+	for _, a := range affected {
+		if a == tid {
+			continue
+		}
+		newPath := c.rt.TuplePath(a)
+		oldPath := c.paths[a]
+		if hindex.PathKey(oldPath) == hindex.PathKey(newPath) {
+			continue
+		}
+		updates = append(updates, pathUpdate{tid: a, old: oldPath, new: newPath})
+	}
+	c.applyUpdates(updates, ctr)
+	return true
+}
+
+// applyUpdates routes the update set into each cuboid: group the updates by
+// target cell, load that cell's signature, clear old paths and set new ones,
+// and write the signature back (Alg. 2 lines 2–8).
+func (c *Cube) applyUpdates(updates []pathUpdate, ctr *stats.Counters) {
+	// A root split deepens every path; keep the encoder's height current.
+	c.enc.SetHeight(c.rt.Height())
+	widthFn := func(prefix []int) int { return c.nodeWidth(prefix) }
+	for _, cb := range c.cuboids {
+		// Sort updates into cells of this cuboid (Alg. 2 line 3).
+		byCell := make(map[uint64][]pathUpdate)
+		vals := make([]int32, len(cb.dims))
+		for _, u := range updates {
+			for j, d := range cb.dims {
+				vals[j] = c.t.Sel(u.tid, d)
+			}
+			k := cb.cellKey(vals)
+			byCell[k] = append(byCell[k], u)
+		}
+		for key, us := range byCell {
+			stored := cb.cells[key]
+			var sig *signature.Node
+			if stored != nil {
+				sig = stored.Decode(c.enc.Codec(), c.store, ctr)
+			}
+			// Two phases: clear every old path first, then set every new
+			// one. Interleaving would corrupt the tree when a structural
+			// change (e.g. a root split) moves all paths at once.
+			for _, u := range us {
+				if u.old != nil && sig != nil {
+					if sig.Clear(u.old) {
+						sig = nil
+					}
+				}
+			}
+			for _, u := range us {
+				if u.new == nil {
+					continue
+				}
+				if sig == nil {
+					sig = signature.Generate(c.rt, [][]int{u.new})
+				} else {
+					sig.Set(u.new, widthFn, c.rt.Height())
+				}
+			}
+			if sig != nil && !sig.Bits.Any() {
+				sig = nil
+			}
+			cb.cells[key] = c.enc.Encode(sig)
+		}
+	}
+	for _, u := range updates {
+		if u.new == nil {
+			delete(c.paths, u.tid)
+		} else {
+			c.paths[u.tid] = u.new
+		}
+	}
+}
+
+// maintainable asserts the partition supports incremental updates (the
+// R-tree does; grid hierarchies re-partition periodically instead, §1.3.1).
+func (c *Cube) maintainable() hindex.MaintainableTree {
+	mt, ok := c.rt.(hindex.MaintainableTree)
+	if !ok {
+		panic("sigcube: partition tree does not support incremental maintenance; rebuild the cube instead")
+	}
+	return mt
+}
+
+// nodeWidth reports the current entry count of the partition node at the
+// given path prefix (signature nodes must match index node widths).
+func (c *Cube) nodeWidth(prefix []int) int {
+	id := c.rt.Root()
+	for _, p := range prefix {
+		id = c.rt.ChildAt(id, p-1)
+	}
+	return c.rt.NumChildren(id)
+}

@@ -1,0 +1,123 @@
+package sigcube
+
+import (
+	"math"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/hindex"
+	"rankcube/internal/ranking"
+	"rankcube/internal/signature"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Scanner is the rank-aware selection operator of thesis §6.3.1: it
+// produces, one at a time and in ascending score order, the tuples matching
+// a boolean condition — the progressive source a rank join pulls from.
+// Scanners share Alg. 3's branch-and-bound machinery but retain the
+// candidate heap across calls.
+type Scanner struct {
+	idx    hindex.Index
+	acc    *hindex.Accessor
+	tester signature.Tester
+	f      ranking.Func
+	ctr    *stats.Counters
+	cheap  *heap.Heap[scanEntry]
+	done   bool
+}
+
+type scanEntry struct {
+	score   float64
+	isTuple bool
+	node    hindex.NodeID
+	tid     table.TID
+	path    []int
+}
+
+func lessScanEntry(a, b scanEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.isTuple && !b.isTuple
+}
+
+// Scan opens a rank-aware selection over the cube. It returns nil when the
+// condition provably matches nothing.
+func (c *Cube) Scan(cond core.Cond, f ranking.Func, ctr *stats.Counters) (*Scanner, error) {
+	tester, any, err := c.TesterFor(cond, ctr)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.LossySignatures && any {
+		// Bloom testers have tuple-level false positives; the scanner's
+		// consumers (rank joins) must only see true matches, so re-verify
+		// full paths against the relation (§4.5).
+		tester = signature.And{tester, lossyVerifier{c, cond, ctr}}
+	}
+	s := &Scanner{
+		idx:    c.rt,
+		tester: tester,
+		f:      f,
+		ctr:    ctr,
+		cheap:  heap.New[scanEntry](lessScanEntry),
+	}
+	if !any || c.rt.Root() == hindex.InvalidNode {
+		s.done = true
+		return s, nil
+	}
+	s.acc = hindex.NewAccessor(c.rt, ctr)
+	s.cheap.Push(scanEntry{score: f.LowerBound(c.rt.NodeBox(c.rt.Root())), node: c.rt.Root()})
+	return s, nil
+}
+
+// Next returns the next matching tuple in ascending score order; ok is
+// false when the source is exhausted.
+func (s *Scanner) Next() (res core.Result, ok bool) {
+	if s.done {
+		return core.Result{}, false
+	}
+	for s.cheap.Len() > 0 {
+		s.ctr.ObserveHeap(s.cheap.Len())
+		e := s.cheap.Pop()
+		s.ctr.StatesExamined++
+		if !s.tester.Test(e.path) {
+			s.ctr.Pruned++
+			continue
+		}
+		if e.isTuple {
+			return core.Result{TID: e.tid, Score: e.score}, true
+		}
+		if s.idx.IsLeaf(e.node) {
+			for slot, le := range s.acc.LeafEntries(e.node) {
+				s.cheap.Push(scanEntry{
+					score:   s.f.Eval(le.Point),
+					isTuple: true,
+					tid:     le.TID,
+					path:    childPath(e.path, slot),
+				})
+				s.ctr.StatesGenerated++
+			}
+			continue
+		}
+		for slot, ch := range s.acc.Children(e.node) {
+			s.cheap.Push(scanEntry{
+				score: s.f.LowerBound(ch.Box),
+				node:  ch.ID,
+				path:  childPath(e.path, slot),
+			})
+			s.ctr.StatesGenerated++
+		}
+	}
+	s.done = true
+	return core.Result{}, false
+}
+
+// Bound reports a lower bound on the scores of all tuples not yet emitted
+// (+Inf when exhausted). Rank joins use it for their stopping threshold.
+func (s *Scanner) Bound() float64 {
+	if s.done || s.cheap.Len() == 0 {
+		return math.Inf(1)
+	}
+	return s.cheap.Min().score
+}

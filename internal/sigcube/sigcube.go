@@ -1,0 +1,355 @@
+// Package sigcube implements the signature-based ranking cube of thesis
+// chapter 4: an R-tree partition of the ranking dimensions whose per-cell
+// measure is a compressed signature (internal/signature), built with the
+// cubing algorithm (Alg. 1), maintained incrementally under insertions and
+// deletions (Alg. 2), and queried with a branch-and-bound search that pushes
+// ranking pruning and boolean pruning simultaneously (Alg. 3).
+package sigcube
+
+import (
+	"fmt"
+	"sort"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/hindex"
+	"rankcube/internal/pager"
+	"rankcube/internal/ranking"
+	"rankcube/internal/rtree"
+	"rankcube/internal/signature"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Config controls cube construction.
+type Config struct {
+	// PageSize in bytes; defaults to pager.PageSize.
+	PageSize int
+	// Alpha is the partial-signature fill target; defaults to
+	// signature.DefaultAlpha.
+	Alpha float64
+	// RTree configures the partition tree.
+	RTree rtree.Config
+	// Cuboids selects which cuboids to materialize (sets of selection
+	// dimensions). Nil materializes all atomic cuboids — the ranking-cube
+	// always contains those so any boolean predicate can be assembled
+	// online (§4.3.3).
+	Cuboids [][]int
+	// BaselineCoding disables adaptive node compression (fig. 4.10's
+	// baseline series).
+	BaselineCoding bool
+	// LossySignatures replaces exact signatures with per-cell bloom filters
+	// over marked SIDs (§4.5); queries re-verify tuples by random access.
+	LossySignatures bool
+}
+
+func (c Config) pageSize() int {
+	if c.PageSize > 0 {
+		return c.PageSize
+	}
+	return pager.PageSize
+}
+
+// Cuboid is one materialized signature cuboid. Cells hold either exact
+// stored signatures or, under Config.LossySignatures, bloom filters.
+type Cuboid struct {
+	dims   []int
+	cards  []int
+	cells  map[uint64]*signature.Stored
+	blooms map[uint64]*bloomCell
+}
+
+// cellKey packs selection values (aligned with dims) into a mixed radix key.
+func (cb *Cuboid) cellKey(vals []int32) uint64 {
+	key := uint64(0)
+	for i, v := range vals {
+		key = key*uint64(cb.cards[i]) + uint64(v)
+	}
+	return key
+}
+
+// Cube is the signature ranking cube.
+type Cube struct {
+	t       *table.Table
+	rt      hindex.PartitionTree
+	enc     *signature.Encoder
+	store   *pager.Store
+	cuboids map[string]*Cuboid
+	// paths tracks each tuple's current partition path, the bookkeeping
+	// incremental maintenance diffs against.
+	paths map[table.TID][]int
+	cfg   Config
+}
+
+// Build runs the cubing algorithm (Alg. 1): partition tuples with an R-tree
+// over all ranking dimensions, generate per-tuple paths, then for each cuboid
+// sort tuples into cells and generate, compress, decompose, and store each
+// cell's signature.
+func Build(t *table.Table, cfg Config) *Cube {
+	r := t.Schema().R()
+	dims := make([]int, r)
+	for i := range dims {
+		dims[i] = i
+	}
+	domain := dataDomain(t)
+	rt := rtree.Bulk(t, dims, domain, cfg.RTree)
+	return buildOn(t, rt, cfg)
+}
+
+// BuildOnTree builds the cube over an existing partition tree — the R-tree
+// or the merged-grid hierarchy, the two implementations of §4.1.2.
+func BuildOnTree(t *table.Table, rt hindex.PartitionTree, cfg Config) *Cube {
+	return buildOn(t, rt, cfg)
+}
+
+func buildOn(t *table.Table, rt hindex.PartitionTree, cfg Config) *Cube {
+	c := &Cube{
+		t:       t,
+		rt:      rt,
+		store:   pager.NewStore(stats.StructSignature, cfg.pageSize()),
+		cuboids: make(map[string]*Cuboid),
+		paths:   make(map[table.TID][]int, t.Len()),
+		cfg:     cfg,
+	}
+	c.enc = signature.NewEncoder(rt.MaxFanout(), rt.Height(), c.store, cfg.Alpha)
+	c.enc.SetBaselineOnly(cfg.BaselineCoding)
+
+	// Line 2 of Alg. 1: generate paths for all tuples.
+	for i := 0; i < t.Len(); i++ {
+		tid := table.TID(i)
+		c.paths[tid] = rt.TuplePath(tid)
+	}
+
+	cuboids := cfg.Cuboids
+	if cuboids == nil {
+		for d := 0; d < t.Schema().S(); d++ {
+			cuboids = append(cuboids, []int{d})
+		}
+	}
+	for _, dims := range cuboids {
+		c.buildCuboid(dims)
+	}
+	return c
+}
+
+func dataDomain(t *table.Table) ranking.Box {
+	r := t.Schema().R()
+	lo := make([]float64, r)
+	hi := make([]float64, r)
+	for d := 0; d < r; d++ {
+		lo[d], hi[d] = t.RankDomain(d)
+		if hi[d] <= lo[d] {
+			hi[d] = lo[d] + 1
+		}
+	}
+	return ranking.NewBox(lo, hi)
+}
+
+func dimsKey(dims []int) string {
+	b := make([]byte, 0, len(dims)*2)
+	for _, d := range dims {
+		b = append(b, byte(d>>8), byte(d))
+	}
+	return string(b)
+}
+
+func (c *Cube) buildCuboid(dims []int) {
+	sorted := append([]int(nil), dims...)
+	sort.Ints(sorted)
+	key := dimsKey(sorted)
+	if _, ok := c.cuboids[key]; ok {
+		return
+	}
+	schema := c.t.Schema()
+	cb := &Cuboid{dims: sorted, cards: make([]int, len(sorted))}
+	for i, d := range sorted {
+		cb.cards[i] = schema.SelCard[d]
+	}
+	// Lines 4–6: sort tuples by the cuboid dimensions (bucketing by cell
+	// key) and generate one signature per cell from tuple paths.
+	buckets := make(map[uint64][][]int)
+	vals := make([]int32, len(sorted))
+	for i := 0; i < c.t.Len(); i++ {
+		tid := table.TID(i)
+		for j, d := range sorted {
+			vals[j] = c.t.Sel(tid, d)
+		}
+		k := cb.cellKey(vals)
+		buckets[k] = append(buckets[k], c.paths[tid])
+	}
+	if c.cfg.LossySignatures {
+		cb.blooms = make(map[uint64]*bloomCell, len(buckets))
+		for k, paths := range buckets {
+			cb.blooms[k] = c.buildBloomCell(paths)
+		}
+	} else {
+		cb.cells = make(map[uint64]*signature.Stored, len(buckets))
+		for k, paths := range buckets {
+			sig := signature.Generate(c.rt, paths)
+			cb.cells[k] = c.enc.Encode(sig)
+		}
+	}
+	c.cuboids[key] = cb
+}
+
+// Cuboid returns the cuboid over exactly dims, or nil.
+func (c *Cube) Cuboid(dims []int) *Cuboid {
+	sorted := append([]int(nil), dims...)
+	sort.Ints(sorted)
+	return c.cuboids[dimsKey(sorted)]
+}
+
+// Tree exposes the partition tree.
+func (c *Cube) Tree() hindex.PartitionTree { return c.rt }
+
+// Table exposes the underlying relation.
+func (c *Cube) Table() *table.Table { return c.t }
+
+// Store exposes the signature page store (space accounting).
+func (c *Cube) Store() *pager.Store { return c.store }
+
+// SizeBytes reports the materialized signature footprint.
+func (c *Cube) SizeBytes() int64 { return c.store.Bytes() }
+
+// TesterFor assembles the boolean-pruning tester for a conjunctive
+// condition (§4.3.3): the exactly-matching cuboid cell when materialized,
+// otherwise the intersection of atomic cuboid cells. The bool result is
+// false when some required cell is empty — no tuple can match, so the query
+// can return immediately.
+func (c *Cube) TesterFor(cond core.Cond, ctr *stats.Counters) (signature.Tester, bool, error) {
+	dims := cond.Dims()
+	if len(dims) == 0 {
+		return signature.True{}, true, nil
+	}
+	if c.cfg.LossySignatures {
+		tester, any := c.lossyTesterFor(cond, ctr)
+		return tester, any, nil
+	}
+	if cb := c.Cuboid(dims); cb != nil {
+		vals := make([]int32, len(dims))
+		for i, d := range cb.dims {
+			vals[i] = cond[d]
+		}
+		stored, ok := cb.cells[cb.cellKey(vals)]
+		if !ok || stored.NumPartials() == 0 {
+			return nil, false, nil
+		}
+		return signature.NewView(stored, c.enc.Codec(), c.store, ctr), true, nil
+	}
+	var testers signature.And
+	for _, d := range dims {
+		cb := c.Cuboid([]int{d})
+		if cb == nil {
+			return nil, false, fmt.Errorf("sigcube: no cuboid covers dimension %d", d)
+		}
+		stored, ok := cb.cells[cb.cellKey([]int32{cond[d]})]
+		if !ok || stored.NumPartials() == 0 {
+			return nil, false, nil
+		}
+		testers = append(testers, signature.NewView(stored, c.enc.Codec(), c.store, ctr))
+	}
+	return testers, true, nil
+}
+
+// TopK answers a ranked query with boolean predicates using the
+// branch-and-bound framework of Alg. 3.
+func (c *Cube) TopK(cond core.Cond, f ranking.Func, k int, ctr *stats.Counters) ([]core.Result, error) {
+	tester, any, err := c.TesterFor(cond, ctr)
+	if err != nil {
+		return nil, err
+	}
+	if !any || k <= 0 {
+		return nil, nil
+	}
+	if c.cfg.LossySignatures {
+		return c.verifyingSearch(tester, cond, f, k, ctr), nil
+	}
+	return SearchTopK(c.rt, tester, f, k, ctr), nil
+}
+
+// SearchTopK is Alg. 3 over any hierarchical index: progressive best-first
+// retrieval with ranking pruning (node lower bounds vs. the current kth
+// score) and boolean pruning (signature tests on node paths). It is exposed
+// package-level so chapter 7's skyline processing and the baselines can
+// share it.
+func SearchTopK(idx hindex.Index, tester signature.Tester, f ranking.Func, k int, ctr *stats.Counters) []core.Result {
+	return searchTopK(idx, tester, nil, f, k, ctr)
+}
+
+// searchTopK is SearchTopK with an optional tuple-level verification hook
+// (lossy measures re-check candidates against the relation, §4.5).
+func searchTopK(idx hindex.Index, tester signature.Tester, verify func(table.TID) bool, f ranking.Func, k int, ctr *stats.Counters) []core.Result {
+	if idx.Root() == hindex.InvalidNode || k <= 0 {
+		return nil
+	}
+	acc := hindex.NewAccessor(idx, ctr)
+	topk := heap.NewBounded[core.Result](k, core.WorseResult)
+
+	type entry struct {
+		score   float64
+		isTuple bool
+		node    hindex.NodeID
+		tid     table.TID
+		path    []int
+	}
+	less := func(a, b entry) bool {
+		if a.score != b.score {
+			return a.score < b.score
+		}
+		// Tuples ahead of nodes at equal score so exact results settle the
+		// stop condition sooner.
+		return a.isTuple && !b.isTuple
+	}
+	cheap := heap.New[entry](less)
+	cheap.Push(entry{score: f.LowerBound(idx.NodeBox(idx.Root())), node: idx.Root()})
+
+	for cheap.Len() > 0 {
+		ctr.ObserveHeap(cheap.Len())
+		e := cheap.Pop()
+		ctr.StatesExamined++
+		if topk.Full() && topk.Worst().Score <= e.score {
+			break
+		}
+		if !tester.Test(e.path) {
+			ctr.Pruned++
+			continue
+		}
+		if e.isTuple {
+			if verify != nil && !verify(e.tid) {
+				ctr.Pruned++
+				continue
+			}
+			topk.Offer(core.Result{TID: e.tid, Score: e.score})
+			continue
+		}
+		if idx.IsLeaf(e.node) {
+			for slot, le := range acc.LeafEntries(e.node) {
+				score := f.Eval(le.Point)
+				cheap.Push(entry{
+					score:   score,
+					isTuple: true,
+					tid:     le.TID,
+					path:    childPath(e.path, slot),
+				})
+				ctr.StatesGenerated++
+			}
+			continue
+		}
+		for slot, ch := range acc.Children(e.node) {
+			cheap.Push(entry{
+				score: f.LowerBound(ch.Box),
+				node:  ch.ID,
+				path:  childPath(e.path, slot),
+			})
+			ctr.StatesGenerated++
+		}
+	}
+	return topk.Sorted()
+}
+
+func childPath(parent []int, slot int) []int {
+	out := make([]int, len(parent)+1)
+	copy(out, parent)
+	out[len(parent)] = slot + 1
+	return out
+}

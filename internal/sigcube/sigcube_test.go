@@ -1,0 +1,323 @@
+package sigcube
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rankcube/internal/core"
+	"rankcube/internal/hindex"
+	"rankcube/internal/ranking"
+	"rankcube/internal/rtree"
+	"rankcube/internal/signature"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+func bruteTopK(t *table.Table, cond core.Cond, f ranking.Func, k int, alive func(table.TID) bool) []core.Result {
+	var all []core.Result
+	buf := make([]float64, t.Schema().R())
+	for i := 0; i < t.Len(); i++ {
+		tid := table.TID(i)
+		if alive != nil && !alive(tid) {
+			continue
+		}
+		if !t.Matches(tid, cond) {
+			continue
+		}
+		score := f.Eval(t.RankRow(tid, buf))
+		if math.IsInf(score, 1) {
+			continue
+		}
+		all = append(all, core.Result{TID: tid, Score: score})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score < all[b].Score
+		}
+		return all[a].TID < all[b].TID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func sameScores(t *testing.T, got, want []core.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Fatalf("result %d: score %v, want %v", i, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 10000, S: 3, R: 2, Card: 6, Seed: 61})
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 16}})
+	rng := rand.New(rand.NewSource(62))
+	funcs := []ranking.Func{
+		ranking.Sum(0, 1),
+		ranking.Linear([]int{0, 1}, []float64{3, 1}),
+		ranking.SqDist([]int{0, 1}, []float64{0.2, 0.9}),
+		ranking.General(ranking.Sqr(ranking.Sub(ranking.Var(0), ranking.Sqr(ranking.Var(1))))),
+	}
+	for trial := 0; trial < 25; trial++ {
+		cond := core.Cond{}
+		for _, d := range rng.Perm(3)[:1+rng.Intn(2)] {
+			cond[d] = int32(rng.Intn(6))
+		}
+		f := funcs[trial%len(funcs)]
+		k := 1 + rng.Intn(20)
+		got, err := cube.TopK(cond, f, k, stats.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameScores(t, got, bruteTopK(tb, cond, f, k, nil))
+	}
+}
+
+func TestTopKNoCondition(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 3000, S: 2, R: 2, Card: 4, Seed: 63})
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 12}})
+	f := ranking.Sum(0, 1)
+	got, err := cube.TopK(core.Cond{}, f, 10, stats.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameScores(t, got, bruteTopK(tb, core.Cond{}, f, 10, nil))
+}
+
+func TestTopKEmptyCell(t *testing.T) {
+	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{5}, RankNames: []string{"x", "y"}})
+	for i := 0; i < 100; i++ {
+		tb.Append([]int32{int32(i % 2)}, []float64{float64(i) / 100, 0.5})
+	}
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 8}})
+	// Value 4 never occurs: empty-cell fast path.
+	got, err := cube.TopK(core.Cond{0: 4}, ranking.Sum(0, 1), 5, stats.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty cell returned %d results", len(got))
+	}
+}
+
+func TestMaterializedMultiDimCuboid(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 5000, S: 3, R: 2, Card: 4, Seed: 64})
+	cube := Build(tb, Config{
+		RTree:   rtree.Config{Fanout: 16},
+		Cuboids: [][]int{{0}, {1}, {2}, {0, 1}},
+	})
+	cond := core.Cond{0: 1, 1: 2}
+	f := ranking.Sum(0, 1)
+	got, err := cube.TopK(cond, f, 10, stats.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameScores(t, got, bruteTopK(tb, cond, f, 10, nil))
+	if cube.Cuboid([]int{0, 1}) == nil {
+		t.Fatal("multi-dim cuboid not materialized")
+	}
+}
+
+func TestSignaturePruningReducesIO(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 20000, S: 1, R: 2, Card: 50, Seed: 65})
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 32}})
+	f := ranking.Sum(0, 1)
+
+	withSig := stats.New()
+	if _, err := cube.TopK(core.Cond{0: 7}, f, 10, withSig); err != nil {
+		t.Fatal(err)
+	}
+	// The ranking-first equivalent: same search without boolean pruning,
+	// verifying the predicate on tuples only (random-access verification).
+	noSig := stats.New()
+	res := SearchTopK(cube.Tree(), verifyOnly{tb, cube.Tree(), core.Cond{0: 7}, cube.Tree().Height()}, f, 10, noSig)
+	if len(res) == 0 {
+		t.Fatal("verification search returned nothing")
+	}
+	sameScores(t, res, bruteTopK(tb, core.Cond{0: 7}, f, 10, nil))
+	if withSig.Reads(stats.StructRTree) >= noSig.Reads(stats.StructRTree) {
+		t.Fatalf("signature pruning read %d R-tree blocks, no-pruning search read %d",
+			withSig.Reads(stats.StructRTree), noSig.Reads(stats.StructRTree))
+	}
+}
+
+// verifyOnly is a tester that checks the predicate only at the tuple level
+// by probing the relation (the thesis' "Ranking" baseline shape).
+type verifyOnly struct {
+	t      *table.Table
+	rt     hindex.PartitionTree
+	cond   core.Cond
+	height int
+}
+
+func (v verifyOnly) Test(path []int) bool {
+	if len(path) < v.height {
+		return true
+	}
+	tid, ok := v.rt.TIDAt(path)
+	return ok && v.t.Matches(tid, v.cond)
+}
+
+func TestInsertMaintainsSignatures(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 2000, S: 2, R: 2, Card: 4, Seed: 66})
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 8}})
+	rng := rand.New(rand.NewSource(67))
+	for i := 0; i < 300; i++ {
+		sel := []int32{int32(rng.Intn(4)), int32(rng.Intn(4))}
+		rank := []float64{rng.Float64(), rng.Float64()}
+		cube.Insert(sel, rank, stats.New())
+	}
+	// After inserts, queries must still match brute force on the grown
+	// relation.
+	f := ranking.Sum(0, 1)
+	for v := int32(0); v < 4; v++ {
+		got, err := cube.TopK(core.Cond{0: v}, f, 15, stats.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameScores(t, got, bruteTopK(cube.Table(), core.Cond{0: v}, f, 15, nil))
+	}
+}
+
+func TestInsertTriggersRootSplitSafely(t *testing.T) {
+	// Tiny fanout forces deep trees and root splits during the insert loop.
+	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{3}, RankNames: []string{"x", "y"}})
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 4}})
+	rng := rand.New(rand.NewSource(68))
+	for i := 0; i < 400; i++ {
+		cube.Insert([]int32{int32(rng.Intn(3))}, []float64{rng.Float64(), rng.Float64()}, stats.New())
+	}
+	f := ranking.SqDist([]int{0, 1}, []float64{0.5, 0.5})
+	for v := int32(0); v < 3; v++ {
+		got, err := cube.TopK(core.Cond{0: v}, f, 10, stats.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameScores(t, got, bruteTopK(cube.Table(), core.Cond{0: v}, f, 10, nil))
+	}
+}
+
+func TestDeleteMaintainsSignatures(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 1500, S: 2, R: 2, Card: 3, Seed: 69})
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 8}})
+	deleted := make(map[table.TID]bool)
+	rng := rand.New(rand.NewSource(70))
+	for i := 0; i < 500; i++ {
+		tid := table.TID(rng.Intn(1500))
+		if cube.Delete(tid, stats.New()) {
+			deleted[tid] = true
+		}
+	}
+	f := ranking.Sum(0, 1)
+	alive := func(tid table.TID) bool { return !deleted[tid] }
+	for v := int32(0); v < 3; v++ {
+		got, err := cube.TopK(core.Cond{1: v}, f, 10, stats.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameScores(t, got, bruteTopK(cube.Table(), core.Cond{1: v}, f, 10, alive))
+	}
+}
+
+func TestBaselineCodingBigger(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 5000, S: 1, R: 2, Card: 20, Seed: 71})
+	adaptive := Build(tb, Config{RTree: rtree.Config{Fanout: 32}})
+	baseline := Build(tb, Config{RTree: rtree.Config{Fanout: 32}, BaselineCoding: true})
+	if adaptive.SizeBytes() > baseline.SizeBytes() {
+		t.Fatalf("adaptive %d bytes > baseline %d bytes", adaptive.SizeBytes(), baseline.SizeBytes())
+	}
+}
+
+func TestConstrainedFunctionPrunesToInf(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 3000, S: 1, R: 2, Card: 4, Seed: 72})
+	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 16}})
+	f := ranking.Constrained(ranking.Sum(0, 1), 1, 0.45, 0.55)
+	got, err := cube.TopK(core.Cond{0: 2}, f, 8, stats.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameScores(t, got, bruteTopK(tb, core.Cond{0: 2}, f, 8, nil))
+	for _, r := range got {
+		y := tb.Rank(r.TID, 1)
+		if y < 0.45 || y > 0.55 {
+			t.Fatalf("result tuple %d outside constraint band (y=%v)", r.TID, y)
+		}
+	}
+}
+
+var _ signature.Tester = verifyOnly{}
+
+func TestLossySignaturesMatchExact(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 8000, S: 3, R: 2, Card: 6, Seed: 73})
+	exact := Build(tb, Config{RTree: rtree.Config{Fanout: 16}})
+	lossy := Build(tb, Config{RTree: rtree.Config{Fanout: 16}, LossySignatures: true})
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 15; trial++ {
+		cond := core.Cond{rng.Intn(3): int32(rng.Intn(6))}
+		f := ranking.Sum(0, 1)
+		k := 1 + rng.Intn(15)
+		a, err := exact.TopK(cond, f, k, stats.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := lossy.TopK(cond, f, k, stats.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameScores(t, b, a)
+	}
+}
+
+func TestLossyChargesVerificationIO(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 8000, S: 1, R: 2, Card: 10, Seed: 75})
+	lossy := Build(tb, Config{RTree: rtree.Config{Fanout: 16}, LossySignatures: true})
+	ctr := stats.New()
+	if _, err := lossy.TopK(core.Cond{0: 3}, ranking.Sum(0, 1), 10, ctr); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Reads(stats.StructTable) == 0 {
+		t.Fatal("lossy query did not charge verification accesses")
+	}
+}
+
+func TestLossyScannerVerifiesTuples(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 4000, S: 1, R: 2, Card: 8, Seed: 76})
+	lossy := Build(tb, Config{RTree: rtree.Config{Fanout: 16}, LossySignatures: true})
+	sc, err := lossy.Scan(core.Cond{0: 3}, ranking.Sum(0, 1), stats.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	prev := -1.0
+	for {
+		r, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if tb.Sel(r.TID, 0) != 3 {
+			t.Fatalf("lossy scanner emitted non-matching tuple %d", r.TID)
+		}
+		if r.Score < prev {
+			t.Fatal("scanner out of order")
+		}
+		prev = r.Score
+		count++
+	}
+	want := 0
+	for i := 0; i < tb.Len(); i++ {
+		if tb.Sel(table.TID(i), 0) == 3 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("scanner yielded %d tuples, want %d", count, want)
+	}
+}

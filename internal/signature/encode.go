@@ -1,0 +1,356 @@
+package signature
+
+import (
+	"fmt"
+	"sort"
+
+	"rankcube/internal/bitvec"
+	"rankcube/internal/hindex"
+	"rankcube/internal/pager"
+	"rankcube/internal/stats"
+)
+
+// DefaultAlpha is the target fill ratio α of partial signatures relative to
+// the page size (§4.2.3: "we control the size of each partial signature
+// around αP (α < 1)").
+const DefaultAlpha = 0.75
+
+// partialRef locates one stored partial signature.
+type partialRef struct {
+	path []int
+	page pager.PageID
+}
+
+// Stored is one cell's signature in compressed, decomposed form: a set of
+// partial signatures, each a BFS-encoded subtree referenced by the SID of
+// the subtree's root (§4.2.3).
+type Stored struct {
+	height int
+	fanout int
+	// refs maps ref SIDs to partials; iteration helpers keep ancestor order.
+	refs map[uint64]partialRef
+}
+
+// Encoder writes cell signatures into a shared page store.
+type Encoder struct {
+	codec  *bitvec.Codec
+	store  *pager.Store
+	height int
+	fanout int
+	// targetBits is the αP cut-off per partial, in bits.
+	targetBits int
+	// baselineOnly disables adaptive node compression (the "Baseline"
+	// series of fig. 4.10).
+	baselineOnly bool
+}
+
+// SetBaselineOnly toggles baseline-only node coding.
+func (e *Encoder) SetBaselineOnly(v bool) { e.baselineOnly = v }
+
+// SetHeight updates the partition height recorded into future encodings;
+// incremental maintenance calls it after tree growth (a root split deepens
+// every tuple path).
+func (e *Encoder) SetHeight(h int) { e.height = h }
+
+// NewEncoder returns an encoder for signatures over an index of the given
+// fanout and height, decomposing at alpha×pageSize bytes (alpha ≤ 0 selects
+// DefaultAlpha).
+func NewEncoder(fanout, height int, store *pager.Store, alpha float64) *Encoder {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	return &Encoder{
+		codec:      bitvec.NewCodec(fanout),
+		store:      store,
+		height:     height,
+		fanout:     fanout,
+		targetBits: int(alpha * float64(store.PageSize()) * 8),
+	}
+}
+
+// Codec exposes the node codec (shared with views).
+func (e *Encoder) Codec() *bitvec.Codec { return e.codec }
+
+// bfsItem pairs a signature node with its path.
+type bfsItem struct {
+	path []int
+	n    *Node
+}
+
+// Encode compresses and decomposes sig, appending pages to the encoder's
+// store. A nil signature encodes to an empty Stored (every Test is false).
+func (e *Encoder) Encode(sig *Node) *Stored {
+	st := &Stored{height: e.height, fanout: e.fanout, refs: make(map[uint64]partialRef)}
+	if sig == nil {
+		return st
+	}
+	coded := make(map[*Node]bool)
+
+	var rec func(path []int, n *Node)
+	rec = func(path []int, n *Node) {
+		var w bitvec.Writer
+		// Partial header: ref path then a node-count placeholder patched at
+		// the end (count is written into a fixed 32-bit field).
+		w.WriteBits(uint64(len(path)), 8)
+		for _, p := range path {
+			w.WriteBits(uint64(p), 16)
+		}
+		countPos := w.Len()
+		w.WriteBits(0, 32)
+
+		count := 0
+		queue := []bfsItem{{path: path, n: n}}
+		var remaining []bfsItem
+		for qi := 0; qi < len(queue); qi++ {
+			item := queue[qi]
+			if !coded[item.n] {
+				if count > 0 && w.Len()-countPos > e.targetBits {
+					// Cut: everything from here on belongs to descendant
+					// partials.
+					remaining = queue[qi:]
+					break
+				}
+				if e.baselineOnly {
+					e.codec.EncodeBaseline(&w, item.n.Bits)
+				} else {
+					e.codec.Encode(&w, item.n.Bits)
+				}
+				coded[item.n] = true
+				count++
+			}
+			if item.n.Kids == nil {
+				continue
+			}
+			for i, kid := range item.n.Kids {
+				if kid == nil {
+					continue
+				}
+				kidPath := append(append([]int(nil), item.path...), i+1)
+				queue = append(queue, bfsItem{path: kidPath, n: kid})
+			}
+		}
+		patchCount(w.Bytes(), countPos, uint32(count))
+		page := e.store.Append(append([]byte(nil), w.Bytes()...))
+		st.refs[hindex.SID(path, e.fanout)] = partialRef{
+			path: append([]int(nil), path...),
+			page: page,
+		}
+
+		if len(remaining) == 0 {
+			return
+		}
+		// Recurse into the children of this partial's root that still hold
+		// uncoded nodes, in slot order (§4.2.3).
+		depth := len(path)
+		pending := make(map[int]bool)
+		for _, item := range remaining {
+			if !coded[item.n] {
+				pending[item.path[depth]] = true
+			}
+		}
+		slots := make([]int, 0, len(pending))
+		for p := range pending {
+			slots = append(slots, p)
+		}
+		sort.Ints(slots)
+		for _, p := range slots {
+			kid := n.Kids[p-1]
+			if kid != nil && hasUncoded(kid, coded) {
+				rec(append(append([]int(nil), path...), p), kid)
+			}
+		}
+	}
+	rec(nil, sig)
+	return st
+}
+
+func hasUncoded(n *Node, coded map[*Node]bool) bool {
+	if !coded[n] {
+		return true
+	}
+	for _, k := range n.Kids {
+		if k != nil && hasUncoded(k, coded) {
+			return true
+		}
+	}
+	return false
+}
+
+// patchCount rewrites the 32-bit count field at bit offset pos in buf.
+func patchCount(buf []byte, pos int, v uint32) {
+	for i := 0; i < 32; i++ {
+		bit := pos + i
+		if v&(1<<uint(i)) != 0 {
+			buf[bit/8] |= 1 << (uint(bit) % 8)
+		} else {
+			buf[bit/8] &^= 1 << (uint(bit) % 8)
+		}
+	}
+}
+
+// NumPartials reports how many partial signatures the cell decomposed into.
+func (s *Stored) NumPartials() int { return len(s.refs) }
+
+// View is a per-query lazy decoder over a stored signature: partial
+// signatures are loaded (and charged as block reads) only when the query
+// requests a node they encode (§4.2.3).
+type View struct {
+	stored *Stored
+	codec  *bitvec.Codec
+	buf    *pager.Buffer
+	ctr    *stats.Counters
+	nodes  map[string]*bitvec.Bits
+	loaded map[uint64]bool
+}
+
+// NewView opens a view charging signature loads to ctr.
+func NewView(s *Stored, codec *bitvec.Codec, store *pager.Store, ctr *stats.Counters) *View {
+	return &View{
+		stored: s,
+		codec:  codec,
+		buf:    pager.NewBuffer(store),
+		ctr:    ctr,
+		nodes:  make(map[string]*bitvec.Bits),
+		loaded: make(map[uint64]bool),
+	}
+}
+
+// Test reports the signature bit for the node/tuple at path, loading the
+// partial signatures on the path as needed.
+func (v *View) Test(path []int) bool {
+	if len(v.stored.refs) == 0 {
+		return false
+	}
+	if len(path) == 0 {
+		return true // a non-empty stored signature has a non-empty root
+	}
+	parent := path[:len(path)-1]
+	bits := v.node(parent)
+	if bits == nil {
+		return false
+	}
+	pos := path[len(path)-1] - 1
+	return pos < bits.Len() && bits.Get(pos)
+}
+
+// node resolves the decoded bits of the signature node at path, loading
+// ancestor-referenced partials in root-to-leaf order.
+func (v *View) node(path []int) *bitvec.Bits {
+	for {
+		if bits, ok := v.nodes[hindex.PathKey(path)]; ok {
+			return bits
+		}
+		loadedOne := false
+		for i := 0; i <= len(path); i++ {
+			sid := hindex.SID(path[:i], v.stored.fanout)
+			ref, exists := v.stored.refs[sid]
+			if !exists || v.loaded[sid] {
+				continue
+			}
+			v.loadPartial(ref)
+			v.loaded[sid] = true
+			loadedOne = true
+			break
+		}
+		if !loadedOne {
+			return nil
+		}
+	}
+}
+
+// loadPartial decodes one partial signature into the view's node map,
+// replaying the encoder's BFS with already-known nodes skipped.
+func (v *View) loadPartial(ref partialRef) {
+	data := v.buf.Read(ref.page, v.ctr)
+	r := bitvec.NewReader(data)
+	plen := int(r.ReadBits(8))
+	path := make([]int, plen)
+	for i := range path {
+		path[i] = int(r.ReadBits(16))
+	}
+	count := int(r.ReadBits(32))
+
+	type qitem struct{ path []int }
+	queue := []qitem{{path: path}}
+	decoded := 0
+	for qi := 0; qi < len(queue) && decoded < count; qi++ {
+		item := queue[qi]
+		key := hindex.PathKey(item.path)
+		bits, known := v.nodes[key]
+		if !known {
+			bits = v.codec.Decode(r)
+			v.nodes[key] = bits
+			decoded++
+		}
+		if len(item.path) >= leafDepth(v.stored.height) {
+			continue
+		}
+		for i := 0; i < bits.Len(); i++ {
+			if !bits.Get(i) {
+				continue
+			}
+			kidPath := append(append([]int(nil), item.path...), i+1)
+			queue = append(queue, qitem{path: kidPath})
+		}
+	}
+	if decoded != count {
+		panic(fmt.Sprintf("signature: partial %v decoded %d nodes, header says %d",
+			ref.path, decoded, count))
+	}
+}
+
+// Decode fully decodes a stored signature (used by incremental maintenance,
+// which rewrites whole cells). Charges reads to ctr.
+func (s *Stored) Decode(codec *bitvec.Codec, store *pager.Store, ctr *stats.Counters) *Node {
+	if len(s.refs) == 0 {
+		return nil
+	}
+	v := NewView(s, codec, store, ctr)
+	// Load every partial, ancestors first.
+	refs := make([]partialRef, 0, len(s.refs))
+	for _, ref := range s.refs {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if len(refs[a].path) != len(refs[b].path) {
+			return len(refs[a].path) < len(refs[b].path)
+		}
+		return lexLess(refs[a].path, refs[b].path)
+	})
+	for _, ref := range refs {
+		sid := hindex.SID(ref.path, s.fanout)
+		if !v.loaded[sid] {
+			v.loadPartial(ref)
+			v.loaded[sid] = true
+		}
+	}
+	// Rebuild the tree from the flat node map.
+	var build func(path []int) *Node
+	build = func(path []int) *Node {
+		bits := v.nodes[hindex.PathKey(path)]
+		if bits == nil {
+			return nil
+		}
+		n := &Node{Bits: bits.Clone()}
+		if len(path) >= leafDepth(s.height) {
+			return n
+		}
+		n.Kids = make([]*Node, bits.Len())
+		for i := 0; i < bits.Len(); i++ {
+			if bits.Get(i) {
+				n.Kids[i] = build(append(append([]int(nil), path...), i+1))
+			}
+		}
+		return n
+	}
+	return build(nil)
+}
+
+// EncodedBytes reports the total encoded size of the cell across partials.
+func (s *Stored) EncodedBytes(store *pager.Store) int64 {
+	var total int64
+	for _, ref := range s.refs {
+		total += int64(len(store.ReadRaw(ref.page)))
+	}
+	return total
+}

@@ -1,0 +1,69 @@
+package signature
+
+// Tester answers boolean-pruning probes during query processing: does the
+// node/tuple at this partition path contain (or constitute) a tuple
+// satisfying the boolean predicate?
+type Tester interface {
+	Test(path []int) bool
+}
+
+// True is the no-predicate tester: everything passes.
+type True struct{}
+
+// Test implements Tester.
+func (True) Test([]int) bool { return true }
+
+// And is the online conjunction assembly of §4.3.3: at internal nodes the
+// slot-wise AND of member signatures is a sound overapproximation (a subtree
+// may satisfy each predicate through different tuples); at the tuple level
+// it is exact, which preserves query correctness.
+type And []Tester
+
+// Test implements Tester.
+func (a And) Test(path []int) bool {
+	for _, t := range a {
+		if !t.Test(path) {
+			return false
+		}
+	}
+	return true
+}
+
+// Or is the online disjunction assembly of §4.3.3 (exact at every level).
+type Or []Tester
+
+// Test implements Tester.
+func (o Or) Test(path []int) bool {
+	for _, t := range o {
+		if t.Test(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Not complements a tester at the tuple level. At internal nodes a
+// complement cannot be derived from the member signature alone (a subtree
+// can contain both matching and non-matching tuples), so Not passes all
+// internal nodes and is exact only on full tuple paths of the given height.
+type Not struct {
+	T      Tester
+	Height int
+}
+
+// Test implements Tester.
+func (n Not) Test(path []int) bool {
+	if len(path) < n.Height {
+		return true
+	}
+	return !n.T.Test(path)
+}
+
+var (
+	_ Tester = True{}
+	_ Tester = And(nil)
+	_ Tester = Or(nil)
+	_ Tester = Not{}
+	_ Tester = (*View)(nil)
+	_ Tester = (*Node)(nil)
+)

@@ -1,0 +1,427 @@
+// Package skyline implements chapter 7 of the thesis: skyline and dynamic
+// skyline queries with multi-dimensional boolean predicates, processed with
+// a branch-and-bound search (BBS-style) over the ranking-cube's R-tree
+// partition with signature-based boolean pruning, plus candidate-heap reuse
+// for drill-down and roll-up queries (§7.2.4).
+//
+// The thesis body for chapter 7 is summarized rather than fully reproduced
+// in our source text; the algorithms here follow the chapter's section
+// structure (domination pruning fig. 7.1, heap re-construction fig. 7.2)
+// and its stated foundations: the branch-and-bound framework of ch. 4
+// applied to preference queries (§5.5.3, §1.3.4).
+package skyline
+
+import (
+	"fmt"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/hindex"
+	"rankcube/internal/ranking"
+	"rankcube/internal/sigcube"
+	"rankcube/internal/signature"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Query is a skyline query with boolean predicates: minimize all Dims
+// simultaneously among tuples matching Cond. A non-nil Target asks for the
+// dynamic skyline in the transformed space t_d = |x_d − Target[d]| (§7.2.3).
+type Query struct {
+	Cond   core.Cond
+	Dims   []int
+	Target []float64
+}
+
+// transform maps a raw coordinate into preference space.
+func (q Query) transform(d int, v float64) float64 {
+	if q.Target == nil {
+		return v
+	}
+	t := v - q.Target[d]
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// lowerCorner computes the per-dimension minima of a box in preference
+// space — the point BBS sorts and prunes by.
+func (q Query) lowerCorner(box ranking.Box, out []float64) []float64 {
+	out = out[:0]
+	for i, d := range q.Dims {
+		if q.Target == nil {
+			out = append(out, box.Lo[d])
+			continue
+		}
+		t := q.Target[i]
+		switch {
+		case t < box.Lo[d]:
+			out = append(out, box.Lo[d]-t)
+		case t > box.Hi[d]:
+			out = append(out, t-box.Hi[d])
+		default:
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// Point extracts a tuple's preference-space coordinates (identity for
+// static skylines, |x−target| for dynamic ones). Exposed for reference
+// implementations and the benchmark harness.
+func (q Query) Point(vals []float64, out []float64) []float64 {
+	return q.point(vals, out)
+}
+
+// point extracts a tuple's preference-space coordinates.
+func (q Query) point(vals []float64, out []float64) []float64 {
+	out = out[:0]
+	for i, d := range q.Dims {
+		v := vals[d]
+		if q.Target != nil {
+			v = q.transform(i, v)
+			_ = i
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// dominates reports whether a strictly dominates b (≤ everywhere, < once).
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// weaklyDominates reports a ≤ b everywhere (used against box lower corners:
+// any tuple in the box is then dominated or equal).
+func weaklyDominates(a, b []float64) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is one skyline member.
+type Result struct {
+	TID   table.TID
+	Coord []float64 // preference-space coordinates
+}
+
+// entry is a candidate heap element: an index node or a tuple with its
+// preference-space lower corner and mindist key.
+type entry struct {
+	mindist float64
+	isTuple bool
+	node    hindex.NodeID
+	tid     table.TID
+	path    []int
+	corner  []float64
+}
+
+func lessEntry(a, b entry) bool {
+	if a.mindist != b.mindist {
+		return a.mindist < b.mindist
+	}
+	return a.isTuple && !b.isTuple
+}
+
+// Engine runs skyline queries over a signature ranking-cube.
+type Engine struct {
+	cube *sigcube.Cube
+}
+
+// NewEngine wraps a built cube.
+func NewEngine(cube *sigcube.Cube) *Engine { return &Engine{cube: cube} }
+
+// Snapshot preserves a finished query's pruned-but-boolean-passing
+// candidates and skyline so OLAP navigation (drill-down/roll-up) can
+// re-construct its candidate heap instead of restarting (fig. 7.2).
+type Snapshot struct {
+	query   Query
+	skyline []Result
+	// pruned holds entries discarded by domination (not by boolean
+	// pruning): under a tightened predicate their dominators may vanish.
+	pruned []entry
+}
+
+// SkylineWithTester answers q using an explicit boolean-pruning tester
+// instead of the cube's signatures — the hook the evaluation harness uses
+// for the no-signature ("Ranking") baseline series and for instrumented
+// testers.
+func (e *Engine) SkylineWithTester(q Query, tester signature.Tester, ctr *stats.Counters) ([]Result, *Snapshot, error) {
+	if err := e.validate(q); err != nil {
+		return nil, nil, err
+	}
+	snap := &Snapshot{query: q}
+	rt := e.cube.Tree()
+	if rt.Root() == hindex.InvalidNode {
+		return nil, snap, nil
+	}
+	h := heap.New[entry](lessEntry)
+	rootCorner := q.lowerCorner(rt.NodeBox(rt.Root()), nil)
+	h.Push(entry{mindist: sum(rootCorner), node: rt.Root(), corner: rootCorner})
+	sky := e.run(q, tester, h, nil, snap, ctr)
+	snap.skyline = sky
+	return sky, snap, nil
+}
+
+// Skyline answers q from scratch.
+func (e *Engine) Skyline(q Query, ctr *stats.Counters) ([]Result, *Snapshot, error) {
+	if err := e.validate(q); err != nil {
+		return nil, nil, err
+	}
+	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := &Snapshot{query: q}
+	if !any {
+		return nil, snap, nil
+	}
+	rt := e.cube.Tree()
+	if rt.Root() == hindex.InvalidNode {
+		return nil, snap, nil
+	}
+	h := heap.New[entry](lessEntry)
+	rootCorner := q.lowerCorner(rt.NodeBox(rt.Root()), nil)
+	h.Push(entry{mindist: sum(rootCorner), node: rt.Root(), corner: rootCorner})
+	sky := e.run(q, tester, h, nil, snap, ctr)
+	snap.skyline = sky
+	return sky, snap, nil
+}
+
+// run is the BBS loop shared by fresh queries and heap re-construction.
+func (e *Engine) run(q Query, tester signature.Tester, h *heap.Heap[entry], sky []Result, snap *Snapshot, ctr *stats.Counters) []Result {
+	rt := e.cube.Tree()
+	acc := hindex.NewAccessor(rt, ctr)
+	var corner []float64
+	for h.Len() > 0 {
+		ctr.ObserveHeap(h.Len())
+		en := h.Pop()
+		ctr.StatesExamined++
+		// Domination pruning (fig. 7.1): a candidate whose best corner is
+		// weakly dominated by a skyline point cannot contribute.
+		if prunedBy(sky, en) {
+			ctr.DominationPruned++
+			if snap != nil {
+				snap.pruned = append(snap.pruned, en)
+			}
+			continue
+		}
+		// Boolean pruning through the signature.
+		if !tester.Test(en.path) {
+			ctr.Pruned++
+			continue
+		}
+		if en.isTuple {
+			sky = append(sky, Result{TID: en.tid, Coord: en.corner})
+			continue
+		}
+		if rt.IsLeaf(en.node) {
+			for slot, le := range acc.LeafEntries(en.node) {
+				pt := q.point(le.Point, nil)
+				h.Push(entry{
+					mindist: sum(pt),
+					isTuple: true,
+					tid:     le.TID,
+					path:    childPath(en.path, slot),
+					corner:  pt,
+				})
+				ctr.StatesGenerated++
+			}
+			continue
+		}
+		for slot, ch := range acc.Children(en.node) {
+			corner = q.lowerCorner(ch.Box, corner)
+			cc := append([]float64(nil), corner...)
+			h.Push(entry{
+				mindist: sum(cc),
+				node:    ch.ID,
+				path:    childPath(en.path, slot),
+				corner:  cc,
+			})
+			ctr.StatesGenerated++
+		}
+	}
+	return sky
+}
+
+// prunedBy applies the domination test against the current skyline: strict
+// domination for tuples, weak domination of the best corner for nodes.
+func prunedBy(sky []Result, en entry) bool {
+	for i := range sky {
+		if en.isTuple {
+			if dominates(sky[i].Coord, en.corner) {
+				return true
+			}
+		} else if weaklyDominates(sky[i].Coord, en.corner) {
+			return true
+		}
+	}
+	return false
+}
+
+// DrillDown answers the previous query tightened with extra predicates by
+// re-constructing the candidate heap from the snapshot (fig. 7.2): the new
+// answer set is a subset of the old universe, so the old skyline plus the
+// domination-pruned entries are a complete candidate basis.
+func (e *Engine) DrillDown(prev *Snapshot, extra core.Cond, ctr *stats.Counters) ([]Result, *Snapshot, error) {
+	q := prev.query
+	newCond := core.Cond{}
+	for d, v := range q.Cond {
+		newCond[d] = v
+	}
+	for d, v := range extra {
+		if old, ok := newCond[d]; ok && old != v {
+			return nil, nil, fmt.Errorf("skyline: drill-down contradicts existing predicate on dimension %d", d)
+		}
+		newCond[d] = v
+	}
+	q.Cond = newCond
+	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := &Snapshot{query: q}
+	if !any {
+		return nil, snap, nil
+	}
+	// Re-construct the candidate heap (fig. 7.2). Previous skyline members
+	// matching the tightened predicate remain skyline (non-domination over a
+	// subset is preserved), so they seed the result directly; their
+	// verification is one random access each.
+	t := e.cube.Table()
+	var survivors []Result
+	for _, r := range prev.skyline {
+		ctr.Read(stats.StructTable, 1)
+		if t.Matches(r.TID, extra) {
+			survivors = append(survivors, r)
+		}
+	}
+	// Domination-pruned entries re-enter only when every dominator they had
+	// may have vanished: entries still weakly dominated by a survivor stay
+	// pruned (and stay recorded for further drill-downs).
+	h := heap.New[entry](lessEntry)
+	for _, en := range prev.pruned {
+		if prunedBy(survivors, en) {
+			ctr.DominationPruned++
+			snap.pruned = append(snap.pruned, en)
+			continue
+		}
+		h.Push(en)
+	}
+	sky := e.run(q, tester, h, survivors, snap, ctr)
+	snap.skyline = sky
+	return sky, snap, nil
+}
+
+// RollUp answers the previous query with the predicates on the given
+// dimensions removed. The universe grows, so a full search is required, but
+// the previous skyline restricted to the relaxed predicate seeds the
+// skyline list, making domination pruning effective from the start.
+func (e *Engine) RollUp(prev *Snapshot, removeDims []int, ctr *stats.Counters) ([]Result, *Snapshot, error) {
+	q := prev.query
+	newCond := core.Cond{}
+	for d, v := range q.Cond {
+		newCond[d] = v
+	}
+	for _, d := range removeDims {
+		delete(newCond, d)
+	}
+	q.Cond = newCond
+	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := &Snapshot{query: q}
+	if !any {
+		return nil, snap, nil
+	}
+	rt := e.cube.Tree()
+	h := heap.New[entry](lessEntry)
+	rootCorner := q.lowerCorner(rt.NodeBox(rt.Root()), nil)
+	h.Push(entry{mindist: sum(rootCorner), node: rt.Root(), corner: rootCorner})
+	// Seeding: the previous skyline members all satisfy the relaxed
+	// predicate, so they are legitimate pruners from the first pop — the
+	// payoff of heap/skyline reuse. They may themselves be dominated by
+	// newly admitted tuples, so the result is cleaned afterwards.
+	seeds := append([]Result(nil), prev.skyline...)
+	sky := e.run(q, tester, h, seeds, snap, ctr)
+	snap.skyline = cleanDominated(dedupe(sky))
+	return snap.skyline, snap, nil
+}
+
+// cleanDominated removes members strictly dominated by another member —
+// provisional roll-up seeds can be overtaken by newly admitted tuples.
+func cleanDominated(sky []Result) []Result {
+	out := sky[:0]
+	for i := range sky {
+		dominated := false
+		for j := range sky {
+			if i != j && dominates(sky[j].Coord, sky[i].Coord) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, sky[i])
+		}
+	}
+	return out
+}
+
+func dedupe(sky []Result) []Result {
+	seen := make(map[table.TID]bool, len(sky))
+	out := sky[:0]
+	for _, r := range sky {
+		if seen[r.TID] {
+			continue
+		}
+		seen[r.TID] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func (e *Engine) validate(q Query) error {
+	r := e.cube.Table().Schema().R()
+	if len(q.Dims) == 0 {
+		return fmt.Errorf("skyline: no preference dimensions")
+	}
+	for _, d := range q.Dims {
+		if d < 0 || d >= r {
+			return fmt.Errorf("skyline: preference dimension %d out of range", d)
+		}
+	}
+	if q.Target != nil && len(q.Target) != len(q.Dims) {
+		return fmt.Errorf("skyline: target arity %d != dims %d", len(q.Target), len(q.Dims))
+	}
+	return nil
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func childPath(parent []int, slot int) []int {
+	out := make([]int, len(parent)+1)
+	copy(out, parent)
+	out[len(parent)] = slot + 1
+	return out
+}

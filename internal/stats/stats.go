@@ -1,0 +1,155 @@
+// Package stats collects the execution metrics the thesis reports in its
+// evaluation chapters: block reads per storage structure, joint states
+// generated and examined, peak heap sizes, and wall-clock phase timings.
+//
+// A Counters value is threaded through query execution; all structures that
+// simulate disk access report into it. Counters are not safe for concurrent
+// use — each query runs on one goroutine, and benchmarks aggregate across
+// runs themselves.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Structure identifies which storage structure a block read touched.
+// The thesis distinguishes these when reporting I/O (e.g. fig. 5.10 plots
+// index-node reads and signature reads separately).
+type Structure string
+
+// Storage structures instrumented by the engines in this repository.
+const (
+	StructTable     Structure = "table"     // base relation blocks
+	StructCube      Structure = "cube"      // ranking-cube cuboid cells
+	StructBlockTab  Structure = "blocktab"  // grid-cube base block table
+	StructBTree     Structure = "btree"     // B+-tree nodes
+	StructRTree     Structure = "rtree"     // R-tree nodes
+	StructSignature Structure = "signature" // partial signatures
+	StructJoinSig   Structure = "joinsig"   // join-signature state signatures
+)
+
+// Counters accumulates metrics during one query or one build.
+type Counters struct {
+	reads  map[Structure]int64
+	phases map[string]time.Duration
+
+	// StatesGenerated counts joint states inserted into any search heap
+	// (thesis fig. 5.11).
+	StatesGenerated int64
+	// StatesExamined counts joint states popped for processing.
+	StatesExamined int64
+	// PeakHeap records the maximum combined heap occupancy observed
+	// (thesis figs. 5.12, 7.5).
+	PeakHeap int
+	// Pruned counts candidates discarded by boolean (signature) pruning.
+	Pruned int64
+	// DominationPruned counts candidates discarded by domination checks
+	// in skyline processing.
+	DominationPruned int64
+}
+
+// New returns an empty metrics collector.
+func New() *Counters {
+	return &Counters{
+		reads:  make(map[Structure]int64),
+		phases: make(map[string]time.Duration),
+	}
+}
+
+// Read records n block reads against the given structure. A nil receiver is
+// permitted so that callers can run without instrumentation.
+func (c *Counters) Read(s Structure, n int64) {
+	if c == nil {
+		return
+	}
+	c.reads[s] += n
+}
+
+// Reads reports the number of block reads recorded for s.
+func (c *Counters) Reads(s Structure) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.reads[s]
+}
+
+// TotalReads reports block reads across all structures.
+func (c *Counters) TotalReads() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for _, v := range c.reads {
+		t += v
+	}
+	return t
+}
+
+// ObserveHeap folds a current combined heap size into the peak tracker.
+func (c *Counters) ObserveHeap(size int) {
+	if c == nil {
+		return
+	}
+	if size > c.PeakHeap {
+		c.PeakHeap = size
+	}
+}
+
+// AddPhase accumulates wall-clock time attributed to a named phase (e.g.
+// "signature-load" vs "search" for thesis fig. 7.12).
+func (c *Counters) AddPhase(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.phases[name] += d
+}
+
+// Phase reports accumulated time for the named phase.
+func (c *Counters) Phase(name string) time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.phases[name]
+}
+
+// Merge adds other's metrics into c.
+func (c *Counters) Merge(other *Counters) {
+	if c == nil || other == nil {
+		return
+	}
+	for s, v := range other.reads {
+		c.reads[s] += v
+	}
+	for p, d := range other.phases {
+		c.phases[p] += d
+	}
+	c.StatesGenerated += other.StatesGenerated
+	c.StatesExamined += other.StatesExamined
+	c.Pruned += other.Pruned
+	c.DominationPruned += other.DominationPruned
+	if other.PeakHeap > c.PeakHeap {
+		c.PeakHeap = other.PeakHeap
+	}
+}
+
+// String renders a stable, human-readable summary.
+func (c *Counters) String() string {
+	if c == nil {
+		return "<nil counters>"
+	}
+	var b strings.Builder
+	keys := make([]string, 0, len(c.reads))
+	for s := range c.reads {
+		keys = append(keys, string(s))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d ", k, c.reads[Structure(k)])
+	}
+	fmt.Fprintf(&b, "states=%d/%d peakHeap=%d pruned=%d",
+		c.StatesExamined, c.StatesGenerated, c.PeakHeap, c.Pruned)
+	return b.String()
+}

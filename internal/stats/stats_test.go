@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadsAccumulate(t *testing.T) {
+	c := New()
+	c.Read(StructRTree, 3)
+	c.Read(StructRTree, 2)
+	c.Read(StructCube, 1)
+	if c.Reads(StructRTree) != 5 || c.Reads(StructCube) != 1 {
+		t.Fatalf("reads: rtree=%d cube=%d", c.Reads(StructRTree), c.Reads(StructCube))
+	}
+	if c.TotalReads() != 6 {
+		t.Fatalf("TotalReads = %d", c.TotalReads())
+	}
+}
+
+func TestNilReceiverSafe(t *testing.T) {
+	var c *Counters
+	c.Read(StructRTree, 1)
+	c.ObserveHeap(10)
+	c.AddPhase("x", time.Second)
+	if c.Reads(StructRTree) != 0 || c.TotalReads() != 0 || c.Phase("x") != 0 {
+		t.Fatal("nil counters returned non-zero")
+	}
+	if c.String() == "" {
+		t.Fatal("nil String empty")
+	}
+}
+
+func TestObserveHeapKeepsMax(t *testing.T) {
+	c := New()
+	c.ObserveHeap(5)
+	c.ObserveHeap(3)
+	c.ObserveHeap(9)
+	c.ObserveHeap(2)
+	if c.PeakHeap != 9 {
+		t.Fatalf("PeakHeap = %d", c.PeakHeap)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.Read(StructBTree, 2)
+	a.StatesGenerated = 5
+	a.PeakHeap = 3
+	a.AddPhase("p", time.Millisecond)
+	b := New()
+	b.Read(StructBTree, 3)
+	b.StatesGenerated = 7
+	b.PeakHeap = 10
+	b.AddPhase("p", time.Millisecond)
+	a.Merge(b)
+	if a.Reads(StructBTree) != 5 || a.StatesGenerated != 12 || a.PeakHeap != 10 {
+		t.Fatalf("merge: %s", a)
+	}
+	if a.Phase("p") != 2*time.Millisecond {
+		t.Fatalf("phase = %v", a.Phase("p"))
+	}
+	a.Merge(nil) // no-op
+}
+
+func TestStringStable(t *testing.T) {
+	c := New()
+	c.Read(StructRTree, 1)
+	c.Read(StructCube, 2)
+	s1, s2 := c.String(), c.String()
+	if s1 != s2 {
+		t.Fatal("String not deterministic")
+	}
+	if !strings.Contains(s1, "rtree=1") || !strings.Contains(s1, "cube=2") {
+		t.Fatalf("String = %q", s1)
+	}
+}

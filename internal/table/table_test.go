@@ -1,0 +1,155 @@
+package table
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{T: 1000, S: 3, R: 2, Card: 10, Seed: 5}
+	a := Generate(spec)
+	b := Generate(spec)
+	if a.Len() != 1000 || b.Len() != 1000 {
+		t.Fatalf("Len = %d/%d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		tid := TID(i)
+		for d := 0; d < 3; d++ {
+			if a.Sel(tid, d) != b.Sel(tid, d) {
+				t.Fatalf("sel mismatch at %d/%d", i, d)
+			}
+		}
+		for d := 0; d < 2; d++ {
+			if a.Rank(tid, d) != b.Rank(tid, d) {
+				t.Fatalf("rank mismatch at %d/%d", i, d)
+			}
+		}
+	}
+}
+
+func TestGenerateRanges(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Correlated, AntiCorrelated} {
+		tb := Generate(GenSpec{T: 5000, S: 2, R: 3, Card: 7, Dist: dist, Seed: 9})
+		for d := 0; d < 2; d++ {
+			for i := 0; i < tb.Len(); i++ {
+				v := tb.Sel(TID(i), d)
+				if v < 0 || v >= 7 {
+					t.Fatalf("%v: sel value %d out of [0,7)", dist, v)
+				}
+			}
+		}
+		for d := 0; d < 3; d++ {
+			lo, hi := tb.RankDomain(d)
+			if lo < 0 || hi > 1 {
+				t.Fatalf("%v: rank domain [%v,%v] outside [0,1]", dist, lo, hi)
+			}
+		}
+	}
+}
+
+func TestCorrelatedIsCorrelated(t *testing.T) {
+	tb := Generate(GenSpec{T: 20000, S: 1, R: 2, Card: 2, Dist: Correlated, Seed: 3})
+	if corr(tb, 0, 1) < 0.8 {
+		t.Fatalf("correlated data has correlation %v", corr(tb, 0, 1))
+	}
+	ta := Generate(GenSpec{T: 20000, S: 1, R: 2, Card: 2, Dist: AntiCorrelated, Seed: 3})
+	if corr(ta, 0, 1) > -0.2 {
+		t.Fatalf("anti-correlated data has correlation %v", corr(ta, 0, 1))
+	}
+}
+
+func corr(tb *Table, d1, d2 int) float64 {
+	n := float64(tb.Len())
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < tb.Len(); i++ {
+		x := tb.Rank(TID(i), d1)
+		y := tb.Rank(TID(i), d2)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / (sqrt(vx) * sqrt(vy))
+}
+
+func sqrt(v float64) float64 {
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+func TestAppendAndAccessors(t *testing.T) {
+	tb := New(Schema{
+		SelNames:  []string{"type", "color"},
+		SelCard:   []int{3, 4},
+		RankNames: []string{"price", "mileage"},
+	})
+	tid := tb.Append([]int32{1, 2}, []float64{0.5, 0.25})
+	if tid != 0 {
+		t.Fatalf("first tid = %d", tid)
+	}
+	tb.Append([]int32{0, 3}, []float64{0.1, 0.9})
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if tb.Sel(0, 1) != 2 || tb.Rank(1, 1) != 0.9 {
+		t.Fatal("accessor mismatch")
+	}
+	row := tb.RankRow(0, nil)
+	if row[0] != 0.5 || row[1] != 0.25 {
+		t.Fatalf("RankRow = %v", row)
+	}
+	srow := tb.SelRow(1, nil)
+	if srow[0] != 0 || srow[1] != 3 {
+		t.Fatalf("SelRow = %v", srow)
+	}
+	if !tb.Matches(0, map[int]int32{0: 1, 1: 2}) {
+		t.Fatal("Matches failed")
+	}
+	if tb.Matches(0, map[int]int32{0: 1, 1: 3}) {
+		t.Fatal("Matches accepted wrong value")
+	}
+	if tb.RowBytes() != 4*2+8*2+4 {
+		t.Fatalf("RowBytes = %d", tb.RowBytes())
+	}
+}
+
+func TestAppendPanicsOnBadValue(t *testing.T) {
+	tb := New(Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"n"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range selection value")
+		}
+	}()
+	tb.Append([]int32{5}, []float64{0})
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := Schema{SelNames: []string{"a"}, SelCard: []int{1, 2}}
+	if bad.Validate() == nil {
+		t.Fatal("mismatched schema validated")
+	}
+	bad2 := Schema{SelNames: []string{"a"}, SelCard: []int{0}}
+	if bad2.Validate() == nil {
+		t.Fatal("zero-cardinality schema validated")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	tb := Generate(GenSpec{T: 10000, S: 1, R: 1, Card: 10, SelZipf: 1.5, Seed: 4})
+	counts := make([]int, 10)
+	for i := 0; i < tb.Len(); i++ {
+		counts[tb.Sel(TID(i), 0)]++
+	}
+	if counts[0] < counts[9] {
+		t.Fatalf("zipf head %d not heavier than tail %d", counts[0], counts[9])
+	}
+}

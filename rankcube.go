@@ -1,0 +1,432 @@
+// Package rankcube is a Go implementation of the Ranking-Cube methodology
+// (Dong Xin, "Integrating OLAP and Ranking: The Ranking-Cube Methodology",
+// UIUC 2007 / ICDE 2007): efficient top-k, skyline, and rank-join query
+// processing under multi-dimensional boolean selections, built on semi
+// off-line materialization and semi online computation.
+//
+// The package offers two ranking-cube engines:
+//
+//   - GridCube — chapter 3's equi-depth grid partition with pseudo-block
+//     cuboids and neighborhood search; supports ranking fragments for
+//     relations with many selection dimensions.
+//   - SignatureCube — chapter 4's hierarchical (R-tree) partition with
+//     compressed signature measures, top-down branch-and-bound search, and
+//     incremental maintenance.
+//
+// plus the chapter 5-7 extensions: index-merge for many ranking dimensions
+// (MergeTopK), SPJR rank joins over multiple relations (Join), and skyline
+// queries with boolean predicates (SkylineEngine).
+//
+// All query engines score ascending: lower is better. Express
+// higher-is-better preferences by negating the function.
+package rankcube
+
+import (
+	"rankcube/internal/baselines"
+	"rankcube/internal/btree"
+	"rankcube/internal/core"
+	"rankcube/internal/dataset"
+	"rankcube/internal/gridcube"
+	"rankcube/internal/hindex"
+	"rankcube/internal/indexmerge"
+	"rankcube/internal/joinquery"
+	"rankcube/internal/ranking"
+	"rankcube/internal/rtree"
+	"rankcube/internal/sigcube"
+	"rankcube/internal/skyline"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// ---------------------------------------------------------------------------
+// Relations
+// ---------------------------------------------------------------------------
+
+// Relation is a base table with categorical selection dimensions and
+// real-valued ranking dimensions.
+type Relation = table.Table
+
+// Schema describes a relation's dimensions.
+type Schema = table.Schema
+
+// TID identifies a tuple within its relation.
+type TID = table.TID
+
+// NewRelation creates an empty relation. Selection values on dimension d
+// must lie in [0, selCards[d]).
+func NewRelation(selNames []string, selCards []int, rankNames []string) *Relation {
+	return table.New(Schema{SelNames: selNames, SelCard: selCards, RankNames: rankNames})
+}
+
+// GenerateRelation builds a seeded synthetic relation: T tuples, S selection
+// dimensions of cardinality C, R ranking dimensions in [0,1] under the given
+// distribution.
+func GenerateRelation(T, S, R, C int, dist Distribution, seed int64) *Relation {
+	return table.Generate(table.GenSpec{T: T, S: S, R: R, Card: C, Dist: dist, Seed: seed})
+}
+
+// Distribution selects the joint distribution of synthetic ranking values.
+type Distribution = table.Distribution
+
+// Synthetic data distributions.
+const (
+	Uniform        = table.Uniform
+	Correlated     = table.Correlated
+	AntiCorrelated = table.AntiCorrelated
+)
+
+// ForestCover synthesizes a relation shaped like the UCI Forest CoverType
+// dataset used in the paper's experiments (12 selection dimensions with its
+// cardinality profile, 3 quantized ranking dimensions).
+func ForestCover(n int, seed int64) *Relation { return dataset.ForestCover(n, seed) }
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+// Cond is a conjunctive selection: dimension position → required value.
+type Cond = core.Cond
+
+// Result is one scored answer tuple.
+type Result = core.Result
+
+// Metrics collects execution statistics (block reads per structure, states,
+// heap peaks). Pass nil to skip instrumentation.
+type Metrics = stats.Counters
+
+// NewMetrics returns an empty metrics collector.
+func NewMetrics() *Metrics { return stats.New() }
+
+// ensureMetrics lets callers pass a nil *Metrics to skip instrumentation;
+// the engines require a collector, so nil is replaced with a throwaway.
+func ensureMetrics(m *Metrics) *Metrics {
+	if m == nil {
+		return stats.New()
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Ranking functions
+// ---------------------------------------------------------------------------
+
+// Func is a ranking function: it scores full ranking vectors and lower-
+// bounds itself over boxes, the one capability the methodology requires of
+// ad hoc functions.
+type Func = ranking.Func
+
+// Expr is a scoring expression tree over ranking dimensions, used to define
+// ad hoc functions with automatic interval-arithmetic lower bounds.
+type Expr = ranking.Expr
+
+// Linear builds f = Σ weights[i]·N(attrs[i]). Weights may be negative.
+func Linear(attrs []int, weights []float64) Func { return ranking.Linear(attrs, weights) }
+
+// Sum builds the unweighted sum of the given ranking dimensions.
+func Sum(attrs ...int) Func { return ranking.Sum(attrs...) }
+
+// SqDist builds Σ (N(attrs[i]) − target[i])², the nearest-neighbor score.
+func SqDist(attrs []int, target []float64) Func { return ranking.SqDist(attrs, target) }
+
+// L1Dist builds Σ |N(attrs[i]) − target[i]|.
+func L1Dist(attrs []int, target []float64) Func { return ranking.L1Dist(attrs, target) }
+
+// General wraps an expression tree as a ranking function with interval-
+// arithmetic bounds (for ad hoc shapes such as (A − B²)²).
+func General(e Expr) Func { return ranking.General(e) }
+
+// Constrained restricts inner to tuples whose dimension attr lies in
+// [lo, hi]; everything else scores +Inf (the thesis' fc query class).
+func Constrained(inner Func, attr int, lo, hi float64) Func {
+	return ranking.Constrained(inner, attr, lo, hi)
+}
+
+// Expression constructors.
+var (
+	// Var references ranking dimension i in an expression.
+	Var = func(i int) Expr { return ranking.Var(i) }
+	// Num embeds a constant.
+	Num = func(v float64) Expr { return ranking.Const(v) }
+)
+
+// Add sums expressions.
+func Add(terms ...Expr) Expr { return ranking.Add(terms...) }
+
+// Sub subtracts r from l.
+func Sub(l, r Expr) Expr { return ranking.Sub(l, r) }
+
+// Mul multiplies two expressions.
+func Mul(l, r Expr) Expr { return ranking.Mul(l, r) }
+
+// Sqr squares an expression.
+func Sqr(e Expr) Expr { return ranking.Sqr(e) }
+
+// AbsE takes an absolute value.
+func AbsE(e Expr) Expr { return ranking.Abs(e) }
+
+// Scale multiplies an expression by a constant.
+func Scale(c float64, e Expr) Expr { return ranking.Scale(c, e) }
+
+// ---------------------------------------------------------------------------
+// Grid ranking cube (chapter 3)
+// ---------------------------------------------------------------------------
+
+// GridOptions configures BuildGridCube.
+type GridOptions struct {
+	// BlockSize is the expected tuples per base block (default 300).
+	BlockSize int
+	// FragmentSize F > 0 materializes ranking fragments of F selection
+	// dimensions each instead of the full cube — the high-dimensional
+	// configuration whose footprint grows linearly in dimension count.
+	FragmentSize int
+	// Groups optionally fixes the fragment grouping explicitly.
+	Groups [][]int
+	// CompressLists stores cell tid lists varint-delta compressed
+	// (thesis §3.6.3): smaller cube, slight decode cost per access.
+	CompressLists bool
+}
+
+// GridCube is the chapter-3 engine.
+type GridCube struct {
+	c *gridcube.Cube
+}
+
+// BuildGridCube materializes a grid ranking cube (or ranking fragments)
+// over rel.
+func BuildGridCube(rel *Relation, opts GridOptions) *GridCube {
+	return &GridCube{c: gridcube.Build(rel, gridcube.Config{
+		BlockSize:     opts.BlockSize,
+		FragmentSize:  opts.FragmentSize,
+		Groups:        opts.Groups,
+		CompressLists: opts.CompressLists,
+	})}
+}
+
+// TopK answers a multi-dimensional top-k query.
+func (g *GridCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, error) {
+	return g.c.TopK(gridcube.Query{Cond: cond, F: f, K: k}, ensureMetrics(m))
+}
+
+// Insert adds a tuple into the cube using the pre-computed partition
+// (thesis §1.3.1); call Repartition periodically to restore balance.
+func (g *GridCube) Insert(sel []int32, rank []float64) TID { return g.c.Insert(sel, rank) }
+
+// Delete tombstones a tuple until the next Repartition.
+func (g *GridCube) Delete(tid TID) bool { return g.c.Delete(tid) }
+
+// PendingMaintenance reports accumulated inserts plus tombstones.
+func (g *GridCube) PendingMaintenance() int { return g.c.PendingMaintenance() }
+
+// Repartition rebuilds the cube over the surviving tuples, returning the
+// old-to-new tuple id mapping when deletions compacted the relation.
+func (g *GridCube) Repartition() map[TID]TID { return g.c.Repartition() }
+
+// GroupsFromWorkload derives a fragment grouping from a query history
+// (thesis §3.6.2): dimensions frequently queried together share a fragment
+// of at most f dimensions. Feed the result to GridOptions.Groups.
+func GroupsFromWorkload(history [][]int, s, f int) [][]int {
+	return gridcube.GroupsFromWorkload(history, s, f)
+}
+
+// GroupsByCardinality isolates selection dimensions with cardinality ≥
+// threshold into singleton fragments (thesis §3.6.2).
+func GroupsByCardinality(schema Schema, f, threshold int) [][]int {
+	return gridcube.GroupsByCardinality(schema, f, threshold)
+}
+
+// SizeBytes reports the materialized footprint.
+func (g *GridCube) SizeBytes() int64 { return g.c.SizeBytes() }
+
+// ---------------------------------------------------------------------------
+// Signature ranking cube (chapter 4)
+// ---------------------------------------------------------------------------
+
+// SigOptions configures BuildSignatureCube.
+type SigOptions struct {
+	// Fanout overrides the page-derived R-tree fanout (0 = 4 KB pages).
+	Fanout int
+	// Cuboids selects materialized cuboids; nil materializes all atomic
+	// (single-dimension) cuboids, from which any conjunction is assembled
+	// online.
+	Cuboids [][]int
+	// LossySignatures swaps exact signatures for per-cell bloom filters
+	// (thesis §4.5): smaller measure, tuple-level re-verification at query
+	// time.
+	LossySignatures bool
+}
+
+// SignatureCube is the chapter-4 engine. It additionally supports
+// incremental maintenance and score-ordered scans.
+type SignatureCube struct {
+	c *sigcube.Cube
+}
+
+// BuildSignatureCube partitions rel with an R-tree and materializes
+// signature cuboids.
+func BuildSignatureCube(rel *Relation, opts SigOptions) *SignatureCube {
+	return &SignatureCube{c: sigcube.Build(rel, sigcube.Config{
+		RTree:           rtree.Config{Fanout: opts.Fanout},
+		Cuboids:         opts.Cuboids,
+		LossySignatures: opts.LossySignatures,
+	})}
+}
+
+// TopK answers a multi-dimensional top-k query.
+func (s *SignatureCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, error) {
+	return s.c.TopK(cond, f, k, ensureMetrics(m))
+}
+
+// Insert appends a tuple and incrementally maintains all signatures.
+func (s *SignatureCube) Insert(sel []int32, rank []float64, m *Metrics) TID {
+	return s.c.Insert(sel, rank, ensureMetrics(m))
+}
+
+// Delete removes a tuple from the partition and signatures.
+func (s *SignatureCube) Delete(tid TID, m *Metrics) bool { return s.c.Delete(tid, ensureMetrics(m)) }
+
+// Scan opens a score-ascending iterator over tuples matching cond — the
+// rank-aware selection operator rank joins pull from.
+func (s *SignatureCube) Scan(cond Cond, f Func, m *Metrics) (*Scanner, error) {
+	return s.c.Scan(cond, f, ensureMetrics(m))
+}
+
+// Scanner iterates matching tuples in ascending score order.
+type Scanner = sigcube.Scanner
+
+// SizeBytes reports the signature footprint.
+func (s *SignatureCube) SizeBytes() int64 { return s.c.SizeBytes() }
+
+// ---------------------------------------------------------------------------
+// Index merge (chapter 5)
+// ---------------------------------------------------------------------------
+
+// Index is a hierarchical index over a subset of ranking dimensions,
+// mergeable with others to answer queries spanning many dimensions.
+type Index = hindex.Index
+
+// BuildBTree bulk-loads a B+-tree over one ranking dimension of rel.
+func BuildBTree(rel *Relation, dim int) Index {
+	return btree.Build(rel, dim, relationDomain(rel), btree.Config{})
+}
+
+// BuildRTree bulk-loads an R-tree over the given ranking dimensions.
+func BuildRTree(rel *Relation, dims []int) Index {
+	return rtree.Bulk(rel, dims, relationDomain(rel), rtree.Config{})
+}
+
+// MergeOptions configures MergeTopK.
+type MergeOptions struct {
+	// JoinSignature enables empty-state pruning via an m-way join-signature
+	// built over the indices (PE+SIG).
+	JoinSignature bool
+}
+
+// MergeTopK answers a top-k query whose function spans several indices by
+// progressive index-merge. rel provides the tuple count for signature
+// construction when requested.
+func MergeTopK(rel *Relation, indices []Index, f Func, k int, opts MergeOptions, m *Metrics) ([]Result, error) {
+	var mo indexmerge.Options
+	if opts.JoinSignature {
+		js, err := indexmerge.BuildJoinSignature(indices, rel.Len(), indexmerge.JoinSigConfig{})
+		if err != nil {
+			return nil, err
+		}
+		mo.Pruner = js
+	}
+	return indexmerge.TopK(indices, f, k, mo, ensureMetrics(m))
+}
+
+// ---------------------------------------------------------------------------
+// SPJR rank joins (chapter 6)
+// ---------------------------------------------------------------------------
+
+// JoinRelation is a relation participating in rank joins, carrying its
+// ranking cube and join-key column.
+type JoinRelation = joinquery.Relation
+
+// NewJoinRelation wraps a relation and its signature cube with join keys
+// (keys[tid] ∈ [0, keyCard)).
+func NewJoinRelation(name string, rel *Relation, cube *SignatureCube, keys []int32, keyCard int) *JoinRelation {
+	return joinquery.NewRelation(name, rel, cube.c, keys, keyCard)
+}
+
+// JoinPart is one relation's role in an SPJR query.
+type JoinPart = joinquery.Part
+
+// JoinResult is one joined, scored answer.
+type JoinResult = joinquery.Result
+
+// Join answers a multi-relational top-k query: equality join on the shared
+// key domain, per-relation boolean conditions, combined score = sum of
+// per-relation scores.
+func Join(parts []JoinPart, k int, m *Metrics) ([]JoinResult, error) {
+	return joinquery.Execute(joinquery.Query{Parts: parts, K: k}, joinquery.Options{}, ensureMetrics(m))
+}
+
+// ---------------------------------------------------------------------------
+// Skylines (chapter 7)
+// ---------------------------------------------------------------------------
+
+// SkylineEngine answers skyline queries with boolean predicates over a
+// signature cube.
+type SkylineEngine struct {
+	e *skyline.Engine
+}
+
+// SkylineResult is one skyline member with its preference-space
+// coordinates.
+type SkylineResult = skyline.Result
+
+// SkylineSnapshot preserves a finished query for drill-down/roll-up reuse.
+type SkylineSnapshot = skyline.Snapshot
+
+// NewSkylineEngine wraps a signature cube.
+func NewSkylineEngine(cube *SignatureCube) *SkylineEngine {
+	return &SkylineEngine{e: skyline.NewEngine(cube.c)}
+}
+
+// Skyline computes the skyline of the tuples matching cond, minimizing the
+// given ranking dimensions. A non-nil target asks for the dynamic skyline
+// in |x−target| space.
+func (s *SkylineEngine) Skyline(cond Cond, dims []int, target []float64, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
+	return s.e.Skyline(skyline.Query{Cond: cond, Dims: dims, Target: target}, ensureMetrics(m))
+}
+
+// DrillDown tightens the previous query with extra predicates, reusing its
+// candidate basis.
+func (s *SkylineEngine) DrillDown(prev *SkylineSnapshot, extra Cond, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
+	return s.e.DrillDown(prev, extra, ensureMetrics(m))
+}
+
+// RollUp relaxes the previous query by removing predicates on the given
+// dimensions, seeding the search with the previous skyline.
+func (s *SkylineEngine) RollUp(prev *SkylineSnapshot, removeDims []int, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
+	return s.e.RollUp(prev, removeDims, ensureMetrics(m))
+}
+
+// ---------------------------------------------------------------------------
+// Baselines (for benchmarking and sanity checks)
+// ---------------------------------------------------------------------------
+
+// TableScanTopK answers a query by scanning rel (the thesis' baseline).
+func TableScanTopK(rel *Relation, cond Cond, f Func, k int, m *Metrics) []Result {
+	h := baselines.NewHeapFile(rel, 0)
+	return baselines.NewTableScan(h).TopK(cond, f, k, ensureMetrics(m))
+}
+
+// helpers
+
+func relationDomain(rel *Relation) rankingBox {
+	r := rel.Schema().R()
+	lo := make([]float64, r)
+	hi := make([]float64, r)
+	for d := 0; d < r; d++ {
+		lo[d], hi[d] = rel.RankDomain(d)
+		if hi[d] <= lo[d] {
+			hi[d] = lo[d] + 1
+		}
+	}
+	return ranking.NewBox(lo, hi)
+}
+
+type rankingBox = ranking.Box
