@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Quick smoke of the benchmark harness (full runs via cmd/rankbench).
+bench:
+	$(GO) run ./cmd/rankbench -exp fig3.4 -scale 0.02 -queries 3
+
+clean:
+	$(GO) clean ./...

@@ -16,10 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rankcube/internal/bench"
@@ -55,15 +58,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM propagate into every query's context: the governor
+	// aborts in-flight searches at block-read granularity and the partial
+	// report still prints. A second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := bench.Run(id, cfg)
+		rep, err := bench.RunCtx(ctx, id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rankbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(rep)
 		fmt.Printf("(experiment wall time %.1fs)\n\n", time.Since(start).Seconds())
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "rankbench: interrupted — results above are partial")
+			os.Exit(130)
+		}
 	}
 }

@@ -22,13 +22,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"rankcube"
 )
@@ -81,14 +84,21 @@ func main() {
 			fmt.Println("  top K [dim=val ...] by dist:t1,t2   — nearest to target")
 			fmt.Println("  sky [dim=val ...] on d1,d2          — skyline over dims")
 		default:
-			if err := execute(line, rel, cube, eng); err != nil {
+			// A per-query signal context: Ctrl-C cancels the running query
+			// (the governor aborts it within a bounded number of block
+			// reads) and returns to the prompt; at an idle prompt the
+			// default signal disposition still exits the process.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			err := execute(ctx, line, rel, cube, eng)
+			stop()
+			if err != nil {
 				fmt.Printf("  error: %v\n", err)
 			}
 		}
 	}
 }
 
-func execute(line string, rel *rankcube.Relation, cube *rankcube.SignatureCube, eng *rankcube.SkylineEngine) error {
+func execute(ctx context.Context, line string, rel *rankcube.Relation, cube *rankcube.SignatureCube, eng *rankcube.SkylineEngine) error {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return nil
@@ -115,7 +125,7 @@ func execute(line string, rel *rankcube.Relation, cube *rankcube.SignatureCube, 
 			return err
 		}
 		m := rankcube.NewMetrics()
-		res, err := cube.TopK(cond, f, k, m)
+		res, err := cube.TopKCtx(ctx, cond, f, k, rankcube.Budget{}, m)
 		if err != nil {
 			return err
 		}
@@ -142,7 +152,7 @@ func execute(line string, rel *rankcube.Relation, cube *rankcube.SignatureCube, 
 			dims = append(dims, d)
 		}
 		m := rankcube.NewMetrics()
-		sky, _, err := eng.Skyline(cond, dims, nil, m)
+		sky, _, err := eng.SkylineCtx(ctx, cond, dims, nil, rankcube.Budget{}, m)
 		if err != nil {
 			return err
 		}

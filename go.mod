@@ -1,0 +1,3 @@
+module rankcube
+
+go 1.24

@@ -12,12 +12,16 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
+	"rankcube/internal/errs"
+	"rankcube/internal/governor"
 	"rankcube/internal/stats"
 )
 
@@ -38,6 +42,10 @@ type Config struct {
 	// relative shapes are insensitive to the constant). Set negative for
 	// raw wall clock.
 	ReadCostMS float64
+	// Context, when non-nil, bounds the run: cancellation stops a workload
+	// between queries and, through the query governor, within a query at
+	// block-read granularity. Partial aggregates are kept.
+	Context context.Context
 }
 
 // Defaults fills unset fields.
@@ -169,22 +177,58 @@ func (m measurement) avgReads(structs ...stats.Structure) float64 {
 	return float64(total) / float64(m.queries)
 }
 
-// run executes the workload and aggregates time and counters.
+// run executes the workload and aggregates time and counters. A canceled
+// Config.Context stops the loop — mid-query via the governor's block-read
+// checks — and the partial aggregate over the completed queries is kept.
 func run(cfg Config, queries int, exec func(qi int, ctr *stats.Counters)) measurement {
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	agg := stats.New()
 	start := time.Now()
+	done := 0
 	for qi := 0; qi < queries; qi++ {
+		if ctx.Err() != nil {
+			break
+		}
 		ctr := stats.New()
-		exec(qi, ctr)
+		ctr.SetGovernor(governor.New(ctx, governor.Limits{}))
+		canceled := runOne(exec, qi, ctr)
+		ctr.SetGovernor(nil)
 		agg.Merge(ctr)
+		done++
+		if canceled {
+			break
+		}
+	}
+	if done == 0 {
+		done = 1 // canceled before the first query; avoid dividing by zero
 	}
 	elapsed := time.Since(start)
 	return measurement{
-		avgTime:  elapsed / time.Duration(queries),
+		avgTime:  elapsed / time.Duration(done),
 		counters: agg,
-		queries:  queries,
+		queries:  done,
 		readCost: cfg.ReadCostMS,
 	}
+}
+
+// runOne executes one query under its governor, absorbing a cancellation
+// abort so an interrupt mid-query still yields the partial aggregate. Any
+// other panic propagates: the harness has no business masking engine bugs.
+func runOne(exec func(qi int, ctr *stats.Counters), qi int, ctr *stats.Counters) (canceled bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := errs.IsAbort(r); ok && errors.Is(err, errs.ErrCanceled) {
+				canceled = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	exec(qi, ctr)
+	return false
 }
 
 // workloadRand returns the harness RNG for query generation.
@@ -217,4 +261,12 @@ func Run(id string, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, IDs())
 	}
 	return fn(cfg.Defaults()), nil
+}
+
+// RunCtx executes one experiment by id under ctx: cancellation (e.g. a
+// propagated SIGINT) stops each workload between queries and within a query
+// at block-read granularity, returning the partially filled report.
+func RunCtx(ctx context.Context, id string, cfg Config) (*Report, error) {
+	cfg.Context = ctx
+	return Run(id, cfg)
 }

@@ -1,0 +1,99 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rankcube/internal/errs"
+	"rankcube/internal/stats"
+)
+
+func abortOf(t *testing.T, fn func()) error {
+	t.Helper()
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				var ok bool
+				if err, ok = errs.IsAbort(r); !ok {
+					panic(r)
+				}
+			}
+		}()
+		fn()
+	}()
+	return err
+}
+
+func TestUnlimitedGovernorIsSilent(t *testing.T) {
+	g := New(nil, Limits{})
+	if err := abortOf(t, func() {
+		for i := 0; i < 1000; i++ {
+			g.OnRead(stats.StructTable, 10)
+			g.OnHeap(1 << 20)
+			g.OnCheckpoint()
+		}
+	}); err != nil {
+		t.Fatalf("unexpected abort: %v", err)
+	}
+	if g.Blocks() != 10000 {
+		t.Fatalf("blocks = %d, want 10000", g.Blocks())
+	}
+}
+
+func TestBlockBudgetTrips(t *testing.T) {
+	g := New(context.Background(), Limits{MaxBlockReads: 5})
+	err := abortOf(t, func() {
+		g.OnRead(stats.StructCube, 3)
+		g.OnRead(stats.StructCube, 3) // 6 > 5
+	})
+	if !errors.Is(err, errs.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestHeapBudgetTrips(t *testing.T) {
+	g := New(context.Background(), Limits{MaxCandidates: 100})
+	if err := abortOf(t, func() { g.OnHeap(100) }); err != nil {
+		t.Fatalf("at the limit should pass, got %v", err)
+	}
+	err := abortOf(t, func() { g.OnHeap(101) })
+	if !errors.Is(err, errs.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestCancellationAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	if err := abortOf(t, func() { g.OnRead(stats.StructTable, 1) }); err != nil {
+		t.Fatalf("live context aborted: %v", err)
+	}
+	cancel()
+	for name, fn := range map[string]func(){
+		"OnRead":       func() { g.OnRead(stats.StructTable, 1) },
+		"OnHeap":       func() { g.OnHeap(1) },
+		"OnCheckpoint": g.OnCheckpoint,
+	} {
+		err := abortOf(t, fn)
+		if !errors.Is(err, errs.ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", name, err)
+		}
+		// The concrete context cause stays reachable for callers that
+		// distinguish cancellation from deadline expiry.
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v does not unwrap to context.Canceled", name, err)
+		}
+	}
+}
+
+func TestCancellationBeatsBudget(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(ctx, Limits{MaxBlockReads: 1})
+	err := abortOf(t, func() { g.OnRead(stats.StructTable, 100) })
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled to win over the budget", err)
+	}
+}

@@ -1,0 +1,70 @@
+package joinquery
+
+import (
+	"fmt"
+	"math"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// BruteForce answers q exactly with full sequential scans and an in-memory
+// hash join on the key column — the degradation target when a member
+// relation's ranking cube faults mid-join. It touches no cube structure:
+// every relation is scanned once (charged as sequential table reads),
+// matches are bucketed by join key, and the per-key cross products feed a
+// bounded top-k heap. Costly next to a converging rank join, but always
+// available and always exact.
+func BruteForce(q Query, ctr *stats.Counters) ([]Result, error) {
+	if len(q.Parts) < 2 {
+		return nil, fmt.Errorf("joinquery: need at least 2 relations, got %d", len(q.Parts))
+	}
+	if q.K <= 0 {
+		return nil, nil
+	}
+	buckets := make([]map[int32][]core.Result, len(q.Parts))
+	for i, p := range q.Parts {
+		t := p.Rel.T
+		rowBytes := t.RowBytes()
+		pages := (t.Len()*rowBytes + 4095) / 4096
+		ctr.Read(stats.StructTable, int64(pages))
+		buckets[i] = make(map[int32][]core.Result)
+		buf := make([]float64, t.Schema().R())
+		for j := 0; j < t.Len(); j++ {
+			tid := table.TID(j)
+			if !p.Rel.Cube.Alive(tid) || !t.Matches(tid, p.Cond) {
+				continue
+			}
+			score := p.F.Eval(t.RankRow(tid, buf))
+			if math.IsInf(score, 1) {
+				continue
+			}
+			key := p.Rel.Keys[tid]
+			buckets[i][key] = append(buckets[i][key], core.Result{TID: tid, Score: score})
+		}
+	}
+
+	topk := heap.NewBounded[Result](q.K, worseJoined)
+	combo := make([]core.Result, len(q.Parts))
+	var rec func(i int, key int32, score float64)
+	rec = func(i int, key int32, score float64) {
+		if i == len(q.Parts) {
+			tids := make([]table.TID, len(combo))
+			for j, c := range combo {
+				tids[j] = c.TID
+			}
+			topk.Offer(Result{TIDs: tids, Score: score})
+			return
+		}
+		for _, c := range buckets[i][key] {
+			combo[i] = c
+			rec(i+1, key, score+c.Score)
+		}
+	}
+	for key := range buckets[0] {
+		rec(0, key, 0)
+	}
+	return topk.Sorted(), nil
+}

@@ -174,6 +174,10 @@ type executor struct {
 	first, last []float64
 	exhausted   []bool
 	topk        *heap.Bounded[Result]
+	// seenCount totals buffered tuples across all seen tables — the rank
+	// join's candidate buffer, reported through ObserveHeap so the peak
+	// metric and the governor's candidate budget cover joins too.
+	seenCount int
 	// keyAllowed[i][key]: list pruning — keys that can possibly join across
 	// all relations (§6.3.3).
 	keyAllowed []bool
@@ -280,6 +284,9 @@ func materialize(t *table.Table, p Part, ctr *stats.Counters) []core.Result {
 func (e *executor) run() ([]Result, error) {
 	n := len(e.sources)
 	for {
+		// A pull from a materialized source costs no block read, so give
+		// the governor an explicit abort point each iteration.
+		e.ctr.Checkpoint()
 		// Threshold: any unseen combination uses an unseen tuple from some
 		// relation i, so its score is at least bound_i + Σ_{j≠i} first_j.
 		if e.topk.Full() && e.topk.Worst().Score <= e.threshold() {
@@ -317,6 +324,8 @@ func (e *executor) run() ([]Result, error) {
 			continue
 		}
 		e.seen[pick][key] = append(e.seen[pick][key], r)
+		e.seenCount++
+		e.ctr.ObserveHeap(e.seenCount)
 		e.probe(pick, key, r)
 	}
 	return e.topk.Sorted(), nil

@@ -1,0 +1,71 @@
+package pager
+
+import "time"
+
+// FaultInjector injects deterministic storage faults into a Store's read
+// path so the robustness layer is testable without real disk failures.
+// Implementations must be safe for concurrent calls when queries run on
+// multiple goroutines; the stock ScriptedFaults qualifies as long as its
+// configuration is not mutated while attached.
+type FaultInjector interface {
+	// ReadAttempt is consulted before each physical read attempt of a page
+	// (attempt starts at 0 and increments across retries of one access). A
+	// non-nil error fails the attempt; the store retries with exponential
+	// backoff up to its retry limit, then aborts the query with
+	// errs.ErrReadFailed.
+	ReadAttempt(id PageID, attempt int) error
+	// MutatePayload may return a corrupted variant of a page payload to
+	// deliver in place of the stored bytes (it must not modify data in
+	// place). Checksum verification decides whether the mutation is caught
+	// — which is exactly what corruption tests assert.
+	MutatePayload(id PageID, data []byte) []byte
+}
+
+// ScriptedFaults is a deterministic FaultInjector driven by per-page
+// scripts. The zero value injects nothing.
+type ScriptedFaults struct {
+	// FailFirst[id] fails the first n attempts of every access to page id
+	// with a transient error; an access recovers on attempt n. Values
+	// above the store's retry limit make the page permanently unreadable.
+	FailFirst map[PageID]int
+	// Corrupt marks pages whose payloads are delivered with a flipped
+	// byte, so checksum verification rejects them.
+	Corrupt map[PageID]bool
+	// CorruptAll corrupts every payload page (whole-structure rot).
+	CorruptAll bool
+	// Latency is added to every read attempt, modelling a slow device.
+	Latency time.Duration
+	// OnRead, when set, observes every attempt before any scripted fault
+	// applies. Tests use it to trigger external events (e.g. canceling a
+	// context) at an exact read count.
+	OnRead func(id PageID, attempt int)
+}
+
+// transientError is the error scripted transient faults fail with.
+type transientError struct{}
+
+func (transientError) Error() string { return "injected transient read fault" }
+
+// ReadAttempt implements FaultInjector.
+func (f *ScriptedFaults) ReadAttempt(id PageID, attempt int) error {
+	if f.OnRead != nil {
+		f.OnRead(id, attempt)
+	}
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if attempt < f.FailFirst[id] {
+		return transientError{}
+	}
+	return nil
+}
+
+// MutatePayload implements FaultInjector.
+func (f *ScriptedFaults) MutatePayload(id PageID, data []byte) []byte {
+	if len(data) == 0 || (!f.CorruptAll && !f.Corrupt[id]) {
+		return data
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0xFF
+	return bad
+}

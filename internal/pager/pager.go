@@ -7,9 +7,22 @@
 // access to a hot page within one query is not double counted — matching the
 // buffering behaviour the thesis assumes ("we buffered the bid and tid lists
 // retrieved so far", §3.3.2).
+// Pages carry payload checksums, verified on every read: a corrupt page
+// aborts the query with a typed errs.ErrPageCorrupt and quarantines its
+// store (subsequent access fails fast with errs.ErrStructureUnavailable
+// until ClearQuarantine). A pluggable FaultInjector makes corruption,
+// transient read errors (retried with exponential backoff), and added
+// latency deterministically testable.
 package pager
 
-import "rankcube/internal/stats"
+import (
+	"hash/crc32"
+	"sync/atomic"
+	"time"
+
+	"rankcube/internal/errs"
+	"rankcube/internal/stats"
+)
 
 // PageSize is the default page size in bytes used throughout the repository,
 // matching the thesis experimental setting (§4.4.1).
@@ -30,7 +43,32 @@ type Store struct {
 	pageSize int
 	pages    [][]byte
 	sizes    []int
+	// sums holds the crc32c checksum of each payload page (0 for
+	// payload-free logical pages, which have nothing to verify).
+	sums []uint32
+
+	// injector, when set, is consulted on every read (faults are opt-in;
+	// attach before serving queries — the field itself is not synchronized).
+	injector FaultInjector
+	// retryLimit bounds retries of transient read faults; backoffBase is
+	// the first retry's sleep, doubled per subsequent attempt.
+	retryLimit  int
+	backoffBase time.Duration
+	// quarantined is set on the first checksum failure; all later access
+	// fails fast with errs.ErrStructureUnavailable. Atomic because queries
+	// on the same store may run on concurrent goroutines.
+	quarantined atomic.Bool
 }
+
+// Retry/backoff defaults for transient read faults. The backoff is tiny:
+// the pager simulates storage, so the schedule's shape (bounded attempts,
+// exponential spacing) matters more than its absolute duration.
+const (
+	DefaultRetryLimit  = 3
+	DefaultBackoffBase = 50 * time.Microsecond
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // NewStore returns an empty store labelled with the structure kind used for
 // read accounting.
@@ -38,8 +76,30 @@ func NewStore(kind stats.Structure, pageSize int) *Store {
 	if pageSize <= 0 {
 		pageSize = PageSize
 	}
-	return &Store{kind: kind, pageSize: pageSize}
+	return &Store{kind: kind, pageSize: pageSize,
+		retryLimit: DefaultRetryLimit, backoffBase: DefaultBackoffBase}
 }
+
+// SetFaultInjector attaches (or, with nil, removes) a fault injector.
+// Attach before the store serves queries; the read path assumes the field
+// is stable while queries run.
+func (s *Store) SetFaultInjector(inj FaultInjector) { s.injector = inj }
+
+// SetRetryPolicy overrides the transient-fault retry schedule: up to limit
+// retries, sleeping backoff<<attempt between them. A zero backoff disables
+// sleeping (deterministic tests); a negative limit disables retrying.
+func (s *Store) SetRetryPolicy(limit int, backoff time.Duration) {
+	s.retryLimit = limit
+	s.backoffBase = backoff
+}
+
+// Quarantined reports whether the store has been taken out of service
+// after a checksum failure.
+func (s *Store) Quarantined() bool { return s.quarantined.Load() }
+
+// ClearQuarantine returns a quarantined store to service (after repair or
+// rebuild).
+func (s *Store) ClearQuarantine() { s.quarantined.Store(false) }
 
 // Kind reports the structure label of this store.
 func (s *Store) Kind() stats.Structure { return s.kind }
@@ -54,6 +114,7 @@ func (s *Store) Append(data []byte) PageID {
 	id := PageID(len(s.pages))
 	s.pages = append(s.pages, data)
 	s.sizes = append(s.sizes, len(data))
+	s.sums = append(s.sums, crc32.Checksum(data, crcTable))
 	return id
 }
 
@@ -64,6 +125,7 @@ func (s *Store) AppendLogical(size int) PageID {
 	id := PageID(len(s.pages))
 	s.pages = append(s.pages, nil)
 	s.sizes = append(s.sizes, size)
+	s.sums = append(s.sums, 0)
 	return id
 }
 
@@ -72,6 +134,7 @@ func (s *Store) AppendLogical(size int) PageID {
 func (s *Store) Overwrite(id PageID, data []byte) {
 	s.pages[id] = data
 	s.sizes[id] = len(data)
+	s.sums[id] = crc32.Checksum(data, crcTable)
 }
 
 // Resize updates the logical size of a payload-free page (cells grow under
@@ -80,15 +143,55 @@ func (s *Store) Resize(id PageID, size int) {
 	s.sizes[id] = size
 }
 
-// Read fetches the payload of page id, charging the read to c.
+// Read fetches the payload of page id, charging the read to c. The
+// payload's checksum is verified; a mismatch (bit rot, or an injected
+// corruption) quarantines the store and aborts the query with a typed
+// errs.ErrPageCorrupt.
 func (s *Store) Read(id PageID, c *stats.Counters) []byte {
-	c.Read(s.kind, s.blocksOf(id))
-	return s.pages[id]
+	s.access(id, c)
+	data := s.pages[id]
+	if inj := s.injector; inj != nil && data != nil {
+		data = inj.MutatePayload(id, data)
+	}
+	if data != nil && crc32.Checksum(data, crcTable) != s.sums[id] {
+		s.quarantined.Store(true)
+		errs.Abortf(errs.ErrPageCorrupt, "pager: %s page %d checksum mismatch", s.kind, id)
+	}
+	return data
 }
 
 // Touch charges a read of page id without returning a payload (for
-// logical-size pages).
+// logical-size pages). Fault injection and quarantine apply; checksum
+// verification does not (there is no payload to verify).
 func (s *Store) Touch(id PageID, c *stats.Counters) {
+	s.access(id, c)
+}
+
+// access runs the physical read protocol for one page: fail fast when the
+// store is quarantined, ride out injected transient faults with bounded
+// exponential backoff, then charge the blocks to c (which consults the
+// query governor — the block-access granularity at which cancellation and
+// budgets are enforced).
+func (s *Store) access(id PageID, c *stats.Counters) {
+	if s.quarantined.Load() {
+		errs.Abortf(errs.ErrStructureUnavailable, "pager: %s store quarantined", s.kind)
+	}
+	if inj := s.injector; inj != nil {
+		for attempt := 0; ; attempt++ {
+			err := inj.ReadAttempt(id, attempt)
+			if err == nil {
+				break
+			}
+			if attempt >= s.retryLimit {
+				errs.Abortf(errs.ErrReadFailed, "pager: %s page %d failed after %d attempts: %v",
+					s.kind, id, attempt+1, err)
+			}
+			c.AddRetry()
+			if s.backoffBase > 0 {
+				time.Sleep(s.backoffBase << uint(attempt))
+			}
+		}
+	}
 	c.Read(s.kind, s.blocksOf(id))
 }
 

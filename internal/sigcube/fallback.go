@@ -1,0 +1,48 @@
+package sigcube
+
+import (
+	"math"
+
+	"rankcube/internal/core"
+	"rankcube/internal/heap"
+	"rankcube/internal/ranking"
+	"rankcube/internal/stats"
+	"rankcube/internal/table"
+)
+
+// Alive reports whether tid currently belongs to the partition. Deleted
+// tuples keep their relation row (tombstoned by absence from the tree), so
+// fallback scans must consult this rather than the raw relation.
+func (c *Cube) Alive(tid table.TID) bool {
+	_, ok := c.paths[tid]
+	return ok
+}
+
+// ScanTopK answers a top-k query with a full sequential scan of the base
+// relation — the exact-answer fallback used when signatures or the
+// partition tree fault mid-search. It touches none of the cube's stores
+// (which may be quarantined) and charges one sequential pass over the
+// relation's pages.
+func (c *Cube) ScanTopK(cond core.Cond, f ranking.Func, k int, ctr *stats.Counters) []core.Result {
+	if k <= 0 {
+		return nil
+	}
+	rowBytes := c.t.RowBytes()
+	pages := (c.t.Len()*rowBytes + c.cfg.pageSize() - 1) / c.cfg.pageSize()
+	ctr.Read(stats.StructTable, int64(pages))
+
+	topk := heap.NewBounded[core.Result](k, core.WorseResult)
+	buf := make([]float64, c.t.Schema().R())
+	for i := 0; i < c.t.Len(); i++ {
+		tid := table.TID(i)
+		if !c.Alive(tid) || !c.t.Matches(tid, cond) {
+			continue
+		}
+		score := f.Eval(c.t.RankRow(tid, buf))
+		if math.IsInf(score, 1) {
+			continue
+		}
+		topk.Offer(core.Result{TID: tid, Score: score})
+	}
+	return topk.Sorted()
+}

@@ -154,6 +154,48 @@ type Snapshot struct {
 	// pruned holds entries discarded by domination (not by boolean
 	// pruning): under a tightened predicate their dominators may vanish.
 	pruned []entry
+	// degraded marks snapshots produced by the fallback scan: they carry
+	// no pruned-candidate basis, so navigation restarts from scratch
+	// instead of re-constructing the heap.
+	degraded bool
+}
+
+// Degraded reports whether this snapshot came from the fallback scan
+// (drill-down/roll-up reuse is unavailable; navigation re-queries).
+func (s *Snapshot) Degraded() bool { return s.degraded }
+
+// DrillQuery returns the snapshot's query tightened with extra predicates —
+// the query a drill-down answers — rejecting contradictions with existing
+// predicates.
+func (s *Snapshot) DrillQuery(extra core.Cond) (Query, error) {
+	q := s.query
+	newCond := core.Cond{}
+	for d, v := range q.Cond {
+		newCond[d] = v
+	}
+	for d, v := range extra {
+		if old, ok := newCond[d]; ok && old != v {
+			return Query{}, fmt.Errorf("skyline: drill-down contradicts existing predicate on dimension %d", d)
+		}
+		newCond[d] = v
+	}
+	q.Cond = newCond
+	return q, nil
+}
+
+// RollQuery returns the snapshot's query with the predicates on removeDims
+// removed — the query a roll-up answers.
+func (s *Snapshot) RollQuery(removeDims []int) Query {
+	q := s.query
+	newCond := core.Cond{}
+	for d, v := range q.Cond {
+		newCond[d] = v
+	}
+	for _, d := range removeDims {
+		delete(newCond, d)
+	}
+	q.Cond = newCond
+	return q
 }
 
 // SkylineWithTester answers q using an explicit boolean-pruning tester
@@ -278,18 +320,15 @@ func prunedBy(sky []Result, en entry) bool {
 // answer set is a subset of the old universe, so the old skyline plus the
 // domination-pruned entries are a complete candidate basis.
 func (e *Engine) DrillDown(prev *Snapshot, extra core.Cond, ctr *stats.Counters) ([]Result, *Snapshot, error) {
-	q := prev.query
-	newCond := core.Cond{}
-	for d, v := range q.Cond {
-		newCond[d] = v
+	q, err := prev.DrillQuery(extra)
+	if err != nil {
+		return nil, nil, err
 	}
-	for d, v := range extra {
-		if old, ok := newCond[d]; ok && old != v {
-			return nil, nil, fmt.Errorf("skyline: drill-down contradicts existing predicate on dimension %d", d)
-		}
-		newCond[d] = v
+	// A degraded snapshot has no pruned-candidate basis to rebuild from;
+	// answer the tightened query from scratch.
+	if prev.degraded {
+		return e.Skyline(q, ctr)
 	}
-	q.Cond = newCond
 	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
 	if err != nil {
 		return nil, nil, err
@@ -332,15 +371,11 @@ func (e *Engine) DrillDown(prev *Snapshot, extra core.Cond, ctr *stats.Counters)
 // the previous skyline restricted to the relaxed predicate seeds the
 // skyline list, making domination pruning effective from the start.
 func (e *Engine) RollUp(prev *Snapshot, removeDims []int, ctr *stats.Counters) ([]Result, *Snapshot, error) {
-	q := prev.query
-	newCond := core.Cond{}
-	for d, v := range q.Cond {
-		newCond[d] = v
+	q := prev.RollQuery(removeDims)
+	// Degraded snapshots carry no reusable seeds worth trusting; restart.
+	if prev.degraded {
+		return e.Skyline(q, ctr)
 	}
-	for _, d := range removeDims {
-		delete(newCond, d)
-	}
-	q.Cond = newCond
 	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
 	if err != nil {
 		return nil, nil, err

@@ -31,10 +31,27 @@ const (
 	StructJoinSig   Structure = "joinsig"   // join-signature state signatures
 )
 
+// Governor is an optional per-query execution governor consulted as
+// metrics are recorded. The concrete implementation (internal/governor)
+// enforces context cancellation and block-read/candidate budgets by
+// panicking with a typed abort (internal/errs) that the public API
+// boundary recovers into an error. Counters record each event before the
+// governor runs, so partial statistics survive an abort intact.
+type Governor interface {
+	// OnRead observes n block reads against structure s.
+	OnRead(s Structure, n int64)
+	// OnHeap observes the current combined candidate-heap occupancy.
+	OnHeap(size int)
+	// OnCheckpoint marks a loop iteration that neither read blocks nor
+	// grew a heap — a pure cancellation poll point.
+	OnCheckpoint()
+}
+
 // Counters accumulates metrics during one query or one build.
 type Counters struct {
 	reads  map[Structure]int64
 	phases map[string]time.Duration
+	gov    Governor
 
 	// StatesGenerated counts joint states inserted into any search heap
 	// (thesis fig. 5.11).
@@ -49,6 +66,11 @@ type Counters struct {
 	// DominationPruned counts candidates discarded by domination checks
 	// in skyline processing.
 	DominationPruned int64
+	// Retries counts transient page-read failures the pager retried.
+	Retries int64
+	// Downgrades counts queries the degradation policy transparently
+	// re-answered from a baseline scan after a cube-side fault.
+	Downgrades int64
 }
 
 // New returns an empty metrics collector.
@@ -59,6 +81,15 @@ func New() *Counters {
 	}
 }
 
+// SetGovernor attaches (or, with nil, detaches) a query governor. The
+// governor sees every read and heap observation recorded afterwards.
+func (c *Counters) SetGovernor(g Governor) {
+	if c == nil {
+		return
+	}
+	c.gov = g
+}
+
 // Read records n block reads against the given structure. A nil receiver is
 // permitted so that callers can run without instrumentation.
 func (c *Counters) Read(s Structure, n int64) {
@@ -66,6 +97,28 @@ func (c *Counters) Read(s Structure, n int64) {
 		return
 	}
 	c.reads[s] += n
+	if c.gov != nil {
+		c.gov.OnRead(s, n)
+	}
+}
+
+// AddRetry records one transient read retry (nil-safe for the pager's
+// uninstrumented callers).
+func (c *Counters) AddRetry() {
+	if c == nil {
+		return
+	}
+	c.Retries++
+}
+
+// Checkpoint gives the attached governor an abort opportunity between
+// block reads; engines call it once per search-loop iteration so
+// cancellation latency stays bounded even when every page hit is buffered.
+func (c *Counters) Checkpoint() {
+	if c == nil || c.gov == nil {
+		return
+	}
+	c.gov.OnCheckpoint()
 }
 
 // Reads reports the number of block reads recorded for s.
@@ -95,6 +148,9 @@ func (c *Counters) ObserveHeap(size int) {
 	}
 	if size > c.PeakHeap {
 		c.PeakHeap = size
+	}
+	if c.gov != nil {
+		c.gov.OnHeap(size)
 	}
 }
 
@@ -130,6 +186,8 @@ func (c *Counters) Merge(other *Counters) {
 	c.StatesExamined += other.StatesExamined
 	c.Pruned += other.Pruned
 	c.DominationPruned += other.DominationPruned
+	c.Retries += other.Retries
+	c.Downgrades += other.Downgrades
 	if other.PeakHeap > c.PeakHeap {
 		c.PeakHeap = other.PeakHeap
 	}
@@ -151,5 +209,11 @@ func (c *Counters) String() string {
 	}
 	fmt.Fprintf(&b, "states=%d/%d peakHeap=%d pruned=%d",
 		c.StatesExamined, c.StatesGenerated, c.PeakHeap, c.Pruned)
+	if c.Retries > 0 {
+		fmt.Fprintf(&b, " retries=%d", c.Retries)
+	}
+	if c.Downgrades > 0 {
+		fmt.Fprintf(&b, " downgrades=%d", c.Downgrades)
+	}
 	return b.String()
 }

@@ -19,16 +19,48 @@
 //
 // All query engines score ascending: lower is better. Express
 // higher-is-better preferences by negating the function.
+//
+// # Robustness & degradation policy
+//
+// Every query entry point has a context-aware variant (TopKCtx, JoinCtx,
+// SkylineCtx, …) taking a context.Context and a Budget. Queries run under a
+// governor enforced in the pager at block-access granularity, so
+// cancellation latency and budget overshoot are bounded in pages. Storage
+// pages carry checksums; faults can be injected for testing via
+// pager.FaultInjector. The degradation rules, in order:
+//
+//   - Cancellation (context canceled or deadline exceeded) always aborts
+//     with ErrCanceled. It never degrades: the caller asked to stop.
+//   - Storage faults (ErrPageCorrupt, ErrReadFailed,
+//     ErrStructureUnavailable) and contained engine panics (ErrInternal)
+//     degrade by default: the query is transparently re-answered by the
+//     matching baseline scan — exact, cube-free — and the Metrics'
+//     Downgrades counter records it. Budget.DisableFallback surfaces the
+//     typed error instead.
+//   - Budget trips (ErrBudgetExceeded) fail by default with partial
+//     statistics intact; Budget.FallbackOnBudget opts into degrading them
+//     like storage faults.
+//
+// The legacy non-context methods delegate to the context variants with a
+// background context and a zero Budget, so they inherit panic containment
+// and fault degradation. The one exception is the progressive Scan
+// iterator: a stream cannot transparently restart, so only ScanCtx
+// contains faults (as typed errors from Next) while the legacy Scan
+// propagates engine panics as-is.
+//
+// No panic escapes the context-aware API: engine faults and bugs alike
+// surface as errors matching ErrInternal at worst.
 package rankcube
 
 import (
+	"context"
+
 	"rankcube/internal/baselines"
 	"rankcube/internal/btree"
 	"rankcube/internal/core"
 	"rankcube/internal/dataset"
 	"rankcube/internal/gridcube"
 	"rankcube/internal/hindex"
-	"rankcube/internal/indexmerge"
 	"rankcube/internal/joinquery"
 	"rankcube/internal/ranking"
 	"rankcube/internal/rtree"
@@ -202,9 +234,10 @@ func BuildGridCube(rel *Relation, opts GridOptions) *GridCube {
 	})}
 }
 
-// TopK answers a multi-dimensional top-k query.
+// TopK answers a multi-dimensional top-k query. It is TopKCtx with a
+// background context and no budget (faults still degrade to a scan).
 func (g *GridCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, error) {
-	return g.c.TopK(gridcube.Query{Cond: cond, F: f, K: k}, ensureMetrics(m))
+	return g.TopKCtx(context.Background(), cond, f, k, Budget{}, m)
 }
 
 // Insert adds a tuple into the cube using the pre-computed partition
@@ -271,9 +304,10 @@ func BuildSignatureCube(rel *Relation, opts SigOptions) *SignatureCube {
 	})}
 }
 
-// TopK answers a multi-dimensional top-k query.
+// TopK answers a multi-dimensional top-k query. It is TopKCtx with a
+// background context and no budget (faults still degrade to a scan).
 func (s *SignatureCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, error) {
-	return s.c.TopK(cond, f, k, ensureMetrics(m))
+	return s.TopKCtx(context.Background(), cond, f, k, Budget{}, m)
 }
 
 // Insert appends a tuple and incrementally maintains all signatures.
@@ -323,17 +357,10 @@ type MergeOptions struct {
 
 // MergeTopK answers a top-k query whose function spans several indices by
 // progressive index-merge. rel provides the tuple count for signature
-// construction when requested.
+// construction when requested. It is MergeTopKCtx with a background context
+// and no budget (faults still degrade to a table scan).
 func MergeTopK(rel *Relation, indices []Index, f Func, k int, opts MergeOptions, m *Metrics) ([]Result, error) {
-	var mo indexmerge.Options
-	if opts.JoinSignature {
-		js, err := indexmerge.BuildJoinSignature(indices, rel.Len(), indexmerge.JoinSigConfig{})
-		if err != nil {
-			return nil, err
-		}
-		mo.Pruner = js
-	}
-	return indexmerge.TopK(indices, f, k, mo, ensureMetrics(m))
+	return MergeTopKCtx(context.Background(), rel, indices, f, k, opts, Budget{}, m)
 }
 
 // ---------------------------------------------------------------------------
@@ -360,7 +387,7 @@ type JoinResult = joinquery.Result
 // key domain, per-relation boolean conditions, combined score = sum of
 // per-relation scores.
 func Join(parts []JoinPart, k int, m *Metrics) ([]JoinResult, error) {
-	return joinquery.Execute(joinquery.Query{Parts: parts, K: k}, joinquery.Options{}, ensureMetrics(m))
+	return JoinCtx(context.Background(), parts, k, Budget{}, m)
 }
 
 // ---------------------------------------------------------------------------
@@ -389,19 +416,19 @@ func NewSkylineEngine(cube *SignatureCube) *SkylineEngine {
 // given ranking dimensions. A non-nil target asks for the dynamic skyline
 // in |x−target| space.
 func (s *SkylineEngine) Skyline(cond Cond, dims []int, target []float64, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	return s.e.Skyline(skyline.Query{Cond: cond, Dims: dims, Target: target}, ensureMetrics(m))
+	return s.SkylineCtx(context.Background(), cond, dims, target, Budget{}, m)
 }
 
 // DrillDown tightens the previous query with extra predicates, reusing its
 // candidate basis.
 func (s *SkylineEngine) DrillDown(prev *SkylineSnapshot, extra Cond, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	return s.e.DrillDown(prev, extra, ensureMetrics(m))
+	return s.DrillDownCtx(context.Background(), prev, extra, Budget{}, m)
 }
 
 // RollUp relaxes the previous query by removing predicates on the given
 // dimensions, seeding the search with the previous skyline.
 func (s *SkylineEngine) RollUp(prev *SkylineSnapshot, removeDims []int, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	return s.e.RollUp(prev, removeDims, ensureMetrics(m))
+	return s.RollUpCtx(context.Background(), prev, removeDims, Budget{}, m)
 }
 
 // ---------------------------------------------------------------------------

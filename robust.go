@@ -1,0 +1,328 @@
+package rankcube
+
+// Robustness & degradation layer: context-aware query variants with
+// per-query budgets, panic containment at the API boundary, and transparent
+// fallback to exact baseline scans when cube structures fault. See the
+// package documentation ("Robustness & degradation policy") for the rules.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rankcube/internal/baselines"
+	"rankcube/internal/errs"
+	"rankcube/internal/governor"
+	"rankcube/internal/gridcube"
+	"rankcube/internal/indexmerge"
+	"rankcube/internal/joinquery"
+	"rankcube/internal/pager"
+	"rankcube/internal/skyline"
+)
+
+// PageStore is a block-granular page store backing a cube structure. It is
+// the attachment point for fault injection (SetFaultInjector, with e.g.
+// pager.ScriptedFaults), retry-policy tuning, and quarantine inspection.
+type PageStore = pager.Store
+
+// Stores returns the cube's page stores (one per materialized cuboid, plus
+// the base block table) for fault injection and quarantine management.
+func (g *GridCube) Stores() []*PageStore {
+	var out []*PageStore
+	for _, cb := range g.c.Cuboids() {
+		out = append(out, cb.Store())
+	}
+	return append(out, g.c.Blocks().Store())
+}
+
+// Stores returns the cube's page stores (the signature store) for fault
+// injection and quarantine management.
+func (s *SignatureCube) Stores() []*PageStore {
+	return []*PageStore{s.c.Store()}
+}
+
+// Typed query errors. Every error returned by the context-aware query
+// methods matches exactly one of these under errors.Is.
+var (
+	// ErrCanceled: the query's context was canceled or timed out.
+	ErrCanceled = errs.ErrCanceled
+	// ErrBudgetExceeded: a Budget limit tripped mid-search.
+	ErrBudgetExceeded = errs.ErrBudgetExceeded
+	// ErrPageCorrupt: a storage page failed checksum verification.
+	ErrPageCorrupt = errs.ErrPageCorrupt
+	// ErrReadFailed: a page read kept failing after retries.
+	ErrReadFailed = errs.ErrReadFailed
+	// ErrStructureUnavailable: a structure is quarantined after corruption.
+	ErrStructureUnavailable = errs.ErrStructureUnavailable
+	// ErrInternal: an engine panic was contained at the API boundary.
+	ErrInternal = errs.ErrInternal
+)
+
+// Budget bounds one query's resource consumption and configures its
+// degradation policy. The zero value is unlimited with fallback enabled.
+type Budget struct {
+	// MaxBlockReads caps simulated block reads across every storage
+	// structure the query touches (0 = unlimited). Enforcement happens in
+	// the pager at block-access granularity, so cancellation latency and
+	// budget overshoot are bounded in pages, not tuples.
+	MaxBlockReads int64
+	// MaxCandidates caps the combined candidate-buffer (search heap)
+	// occupancy (0 = unlimited).
+	MaxCandidates int
+	// DisableFallback turns off degradation: faults surface as typed
+	// errors instead of baseline-scan answers.
+	DisableFallback bool
+	// FallbackOnBudget extends degradation to ErrBudgetExceeded: when the
+	// budget trips, answer with a baseline scan (which ignores MaxBlockReads
+	// — a full scan is the floor cost of an exact answer) rather than fail.
+	FallbackOnBudget bool
+}
+
+func (b Budget) limits() governor.Limits {
+	return governor.Limits{MaxBlockReads: b.MaxBlockReads, MaxCandidates: b.MaxCandidates}
+}
+
+// shouldDegrade decides whether a failed cube-side attempt is re-answered
+// by the matching baseline scan.
+func (b Budget) shouldDegrade(err error) bool {
+	if err == nil || b.DisableFallback {
+		return false
+	}
+	if errors.Is(err, errs.ErrBudgetExceeded) {
+		return b.FallbackOnBudget
+	}
+	return errs.Degradable(err)
+}
+
+// runGoverned executes fn with a query governor attached to m, converting
+// typed aborts (cancellation, budget trips, storage faults) and any other
+// panic into errors. No panic escapes it.
+func runGoverned[T any](ctx context.Context, lim governor.Limits, m *Metrics, fn func() (T, error)) (out T, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gov := governor.New(ctx, lim)
+	m.SetGovernor(gov)
+	defer m.SetGovernor(nil)
+	defer func() {
+		if r := recover(); r != nil {
+			err = errs.FromPanic(r)
+			var zero T
+			out = zero
+		}
+	}()
+	gov.OnCheckpoint() // fail fast on an already-canceled context
+	return fn()
+}
+
+// degradeTo re-answers a failed query from its baseline fallback, recording
+// the downgrade. The fallback runs under cancellation only: budgets do not
+// apply (the scan is the floor cost of an exact answer), and it too is
+// panic-contained.
+func degradeTo[T any](ctx context.Context, m *Metrics, fn func() T) (T, error) {
+	m.Downgrades++
+	return runGoverned(ctx, governor.Limits{}, m, func() (T, error) { return fn(), nil })
+}
+
+// ---------------------------------------------------------------------------
+// Context-aware engine entry points
+// ---------------------------------------------------------------------------
+
+// TopKCtx answers a top-k query under ctx and budget b. On storage faults
+// (and, with b.FallbackOnBudget, budget trips) it transparently re-answers
+// from a tombstone-aware sequential scan, recording the downgrade in the
+// metrics' Downgrades counter.
+func (g *GridCube) TopKCtx(ctx context.Context, cond Cond, f Func, k int, b Budget, m *Metrics) ([]Result, error) {
+	m = ensureMetrics(m)
+	q := gridcube.Query{Cond: cond, F: f, K: k}
+	res, err := runGoverned(ctx, b.limits(), m, func() ([]Result, error) {
+		return g.c.TopK(q, m)
+	})
+	if b.shouldDegrade(err) {
+		return degradeTo(ctx, m, func() []Result { return g.c.ScanTopK(q, m) })
+	}
+	return res, err
+}
+
+// TopKCtx answers a top-k query under ctx and budget b, degrading to a
+// delete-aware sequential scan on storage faults as GridCube.TopKCtx does.
+func (s *SignatureCube) TopKCtx(ctx context.Context, cond Cond, f Func, k int, b Budget, m *Metrics) ([]Result, error) {
+	m = ensureMetrics(m)
+	res, err := runGoverned(ctx, b.limits(), m, func() ([]Result, error) {
+		return s.c.TopK(cond, f, k, m)
+	})
+	if b.shouldDegrade(err) {
+		return degradeTo(ctx, m, func() []Result { return s.c.ScanTopK(cond, f, k, m) })
+	}
+	return res, err
+}
+
+// MergeTopKCtx is MergeTopK under ctx and budget b. Configuration errors
+// (no indices, uncovered ranking dimensions) surface directly; runtime
+// storage faults degrade to a full table scan, which is exact because
+// index-merge queries carry no boolean predicate.
+func MergeTopKCtx(ctx context.Context, rel *Relation, indices []Index, f Func, k int, opts MergeOptions, b Budget, m *Metrics) ([]Result, error) {
+	m = ensureMetrics(m)
+	res, err := runGoverned(ctx, b.limits(), m, func() ([]Result, error) {
+		var mo indexmerge.Options
+		if opts.JoinSignature {
+			js, jerr := indexmerge.BuildJoinSignature(indices, rel.Len(), indexmerge.JoinSigConfig{})
+			if jerr != nil {
+				return nil, jerr
+			}
+			mo.Pruner = js
+		}
+		return indexmerge.TopK(indices, f, k, mo, m)
+	})
+	if b.shouldDegrade(err) {
+		return degradeTo(ctx, m, func() []Result {
+			h := baselines.NewHeapFile(rel, 0)
+			return baselines.NewTableScan(h).TopK(Cond{}, f, k, m)
+		})
+	}
+	return res, err
+}
+
+// JoinCtx is Join under ctx and budget b. When a member relation's cube
+// faults mid-join, the query degrades to an exact brute-force hash join
+// over sequential scans of the participating relations.
+func JoinCtx(ctx context.Context, parts []JoinPart, k int, b Budget, m *Metrics) ([]JoinResult, error) {
+	m = ensureMetrics(m)
+	q := joinquery.Query{Parts: parts, K: k}
+	res, err := runGoverned(ctx, b.limits(), m, func() ([]JoinResult, error) {
+		return joinquery.Execute(q, joinquery.Options{}, m)
+	})
+	if b.shouldDegrade(err) {
+		return runGovernedDowngrade(ctx, m, func() ([]JoinResult, error) {
+			return joinquery.BruteForce(q, m)
+		})
+	}
+	return res, err
+}
+
+// runGovernedDowngrade is degradeTo for fallbacks that themselves return
+// errors (the brute-force join validates its query).
+func runGovernedDowngrade[T any](ctx context.Context, m *Metrics, fn func() (T, error)) (T, error) {
+	m.Downgrades++
+	return runGoverned(ctx, governor.Limits{}, m, fn)
+}
+
+// skyOut bundles the skyline result pair through the governed runner.
+type skyOut struct {
+	res  []SkylineResult
+	snap *SkylineSnapshot
+}
+
+// SkylineCtx is Skyline under ctx and budget b. On storage faults it
+// degrades to an exact sequential-scan skyline; the returned snapshot is
+// then marked degraded and navigation (drill-down/roll-up) restarts from
+// scratch instead of reusing the candidate basis.
+func (s *SkylineEngine) SkylineCtx(ctx context.Context, cond Cond, dims []int, target []float64, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
+	m = ensureMetrics(m)
+	q := skyline.Query{Cond: cond, Dims: dims, Target: target}
+	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
+		res, snap, err := s.e.Skyline(q, m)
+		return skyOut{res, snap}, err
+	})
+	if b.shouldDegrade(err) {
+		out, err = runGovernedDowngrade(ctx, m, func() (skyOut, error) {
+			res, snap, serr := s.e.ScanSkyline(q, m)
+			return skyOut{res, snap}, serr
+		})
+	}
+	return out.res, out.snap, err
+}
+
+// DrillDownCtx is DrillDown under ctx and budget b, with the same
+// degradation policy as SkylineCtx (the fallback answers the tightened
+// query by sequential scan).
+func (s *SkylineEngine) DrillDownCtx(ctx context.Context, prev *SkylineSnapshot, extra Cond, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
+	if prev == nil {
+		return nil, nil, fmt.Errorf("rankcube: drill-down requires a previous snapshot")
+	}
+	m = ensureMetrics(m)
+	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
+		res, snap, err := s.e.DrillDown(prev, extra, m)
+		return skyOut{res, snap}, err
+	})
+	if b.shouldDegrade(err) {
+		q, qerr := prev.DrillQuery(extra)
+		if qerr != nil {
+			return nil, nil, qerr
+		}
+		out, err = runGovernedDowngrade(ctx, m, func() (skyOut, error) {
+			res, snap, serr := s.e.ScanSkyline(q, m)
+			return skyOut{res, snap}, serr
+		})
+	}
+	return out.res, out.snap, err
+}
+
+// RollUpCtx is RollUp under ctx and budget b, with the same degradation
+// policy as SkylineCtx.
+func (s *SkylineEngine) RollUpCtx(ctx context.Context, prev *SkylineSnapshot, removeDims []int, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
+	if prev == nil {
+		return nil, nil, fmt.Errorf("rankcube: roll-up requires a previous snapshot")
+	}
+	m = ensureMetrics(m)
+	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
+		res, snap, err := s.e.RollUp(prev, removeDims, m)
+		return skyOut{res, snap}, err
+	})
+	if b.shouldDegrade(err) {
+		out, err = runGovernedDowngrade(ctx, m, func() (skyOut, error) {
+			res, snap, serr := s.e.ScanSkyline(prev.RollQuery(removeDims), m)
+			return skyOut{res, snap}, serr
+		})
+	}
+	return out.res, out.snap, err
+}
+
+// GovernedScanner is a panic-contained, budget-governed score-ascending
+// iterator. Unlike the batch entry points it cannot transparently degrade —
+// a stream cannot restart without re-emitting — so faults surface as typed
+// errors from Next.
+type GovernedScanner struct {
+	s *Scanner
+	m *Metrics
+	g *governor.Governor
+}
+
+// ScanCtx opens a governed rank-aware scan over the cube. The governor
+// stays attached to m for the lifetime of the scanner; open a fresh
+// Metrics per scan when running scans concurrently.
+func (s *SignatureCube) ScanCtx(ctx context.Context, cond Cond, f Func, b Budget, m *Metrics) (*GovernedScanner, error) {
+	m = ensureMetrics(m)
+	gov := governor.New(ctx, b.limits())
+	m.SetGovernor(gov)
+	sc, err := func() (sc *Scanner, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = errs.FromPanic(r)
+				sc = nil
+			}
+		}()
+		return s.c.Scan(cond, f, m)
+	}()
+	if err != nil {
+		m.SetGovernor(nil)
+		return nil, err
+	}
+	return &GovernedScanner{s: sc, m: m, g: gov}, nil
+}
+
+// Next returns the next matching tuple in ascending score order. ok is
+// false when the stream ends — exhausted (err nil) or failed (typed err).
+func (g *GovernedScanner) Next() (res Result, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errs.FromPanic(r)
+			ok = false
+		}
+	}()
+	res, ok = g.s.Next()
+	return res, ok, nil
+}
+
+// Close detaches the scan's governor from its metrics collector.
+func (g *GovernedScanner) Close() { g.m.SetGovernor(nil) }
