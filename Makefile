@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet lint test race check bench clean
 
 all: check
 
@@ -12,13 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# rankvet (cmd/rankvet, analyzers in internal/analysis) mechanically
+# enforces the engine safety invariants: no raw panics, threaded contexts,
+# governed page reads, typed errors at the public boundary.
+lint:
+	$(GO) run ./cmd/rankvet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint race
 
 # Quick smoke of the benchmark harness (full runs via cmd/rankbench).
 bench:

@@ -273,7 +273,10 @@ func loadCSV(path string, selN int) (*rankcube.Relation, error) {
 			cards[d] = 1
 		}
 	}
-	rel := rankcube.NewRelation(header[:selN], cards, header[selN:])
+	rel, err := rankcube.NewRelation(header[:selN], cards, header[selN:])
+	if err != nil {
+		return nil, err
+	}
 	sel := make([]int32, selN)
 	rank := make([]float64, len(header)-selN)
 	for i, row := range rows[1:] {

@@ -1,0 +1,60 @@
+// Command rankvet is the multichecker driver for the rankcube analysis
+// suite (internal/analysis): it loads the requested packages from source,
+// runs every analyzer, and prints findings as file:line:col: messages.
+// A non-zero exit on any finding makes it a CI gate (`make lint`).
+//
+// Usage:
+//
+//	rankvet [-list] [packages]
+//
+// Packages default to ./... relative to the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rankcube/internal/analysis"
+	"rankcube/internal/analysis/framework"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rankvet [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := framework.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analysis.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rankvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", loader.Fset().Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rankvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -29,7 +29,10 @@ func main() {
 	for i := range sel {
 		sel[i] = 2
 	}
-	rel := rankcube.NewRelation(amenities, sel, criteria)
+	rel, err := rankcube.NewRelation(amenities, sel, criteria)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 30000; i++ {
 		flags := make([]int32, len(amenities))

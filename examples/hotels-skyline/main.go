@@ -13,11 +13,14 @@ import (
 
 func main() {
 	districts := []string{"downtown", "beachfront", "airport", "old-town"}
-	rel := rankcube.NewRelation(
+	rel, err := rankcube.NewRelation(
 		[]string{"district", "stars", "breakfast", "wifi"},
 		[]int{len(districts), 5, 2, 2},
 		[]string{"price", "beach_dist"},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 40000; i++ {
 		district := rng.Intn(len(districts))

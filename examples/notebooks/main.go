@@ -19,11 +19,14 @@ func main() {
 	// Schema (brand, price_band | cpu, memory, disk): the analyst's scoring
 	// function f is formulated on cpu/memory/disk; brand and price band are
 	// selection dimensions.
-	rel := rankcube.NewRelation(
+	rel, err := rankcube.NewRelation(
 		[]string{"brand", "price_band"},
 		[]int{len(brands), len(priceBands)},
 		[]string{"cpu", "memory", "disk"},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 50000; i++ {
 		brand := rng.Intn(len(brands))

@@ -16,11 +16,14 @@ func main() {
 	// ranking dimensions (price in $10k units, mileage in 100k-mile units).
 	types := []string{"sedan", "convertible", "suv"}
 	colors := []string{"red", "silver", "black", "white"}
-	rel := rankcube.NewRelation(
+	rel, err := rankcube.NewRelation(
 		[]string{"type", "color"},
 		[]int{len(types), len(colors)},
 		[]string{"price", "mileage"},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 20000; i++ {
 		rel.Append(

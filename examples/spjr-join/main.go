@@ -17,11 +17,14 @@ const numCities = 200
 func main() {
 	// Relation 1: flights(airline, stops | price, duration) keyed by
 	// destination city.
-	flights := rankcube.NewRelation(
+	flights, err := rankcube.NewRelation(
 		[]string{"airline", "stops"},
 		[]int{8, 3},
 		[]string{"price", "duration"},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(21))
 	flightCity := make([]int32, 0, 60000)
 	for i := 0; i < 60000; i++ {
@@ -33,11 +36,14 @@ func main() {
 	}
 
 	// Relation 2: hotels(stars, breakfast | rate, center_dist) keyed by city.
-	hotels := rankcube.NewRelation(
+	hotels, err := rankcube.NewRelation(
 		[]string{"stars", "breakfast"},
 		[]int{5, 2},
 		[]string{"rate", "center_dist"},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	hotelCity := make([]int32, 0, 40000)
 	for i := 0; i < 40000; i++ {
 		hotels.Append(

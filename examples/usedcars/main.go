@@ -20,11 +20,14 @@ var (
 )
 
 func main() {
-	rel := rankcube.NewRelation(
+	rel, err := rankcube.NewRelation(
 		[]string{"type", "maker", "color", "transmission"},
 		[]int{len(types), len(makers), len(colors), len(trans)},
 		[]string{"price", "mileage"}, // price in $10k units, mileage in 100k miles
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < 100000; i++ {
 		maker := rng.Intn(len(makers))

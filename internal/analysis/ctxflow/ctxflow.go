@@ -1,0 +1,208 @@
+// Package ctxflow enforces context discipline in the query engines.
+//
+// The governor (internal/governor) is the engines' only cancellation and
+// budget mechanism, and it sees exactly the context the caller passed in.
+// Two bug shapes silently disconnect a query from its caller:
+//
+//   - minting a fresh context (context.Background / context.TODO) while a
+//     caller-supplied ctx is in scope, so downstream work ignores the
+//     caller's deadline; and
+//   - accepting a ctx parameter and never consulting it, so the signature
+//     promises cancellation the implementation does not deliver.
+//
+// The analyzer flags both. The one blessed Background() shape is the
+// documented nil-fallback, a plain assignment to an existing context
+// variable (`if ctx == nil { ctx = context.Background() }`): it replaces a
+// context the caller declined to provide rather than discarding one.
+// Library packages (rankcube/internal/...) may not mint fresh contexts at
+// all outside that shape; the public root package's legacy wrappers (TopK
+// delegating to TopKCtx) are the documented bridge and remain allowed.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rankcube/internal/analysis/framework"
+)
+
+// Analyzer enforces context threading in *Ctx entry points and library
+// packages.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbids context.Background()/context.TODO() where a caller context is in scope " +
+		"(or anywhere in library packages, nil-fallback assignments excepted) and flags " +
+		"ctx parameters that are accepted but never consulted",
+	Run: run,
+}
+
+const libraryPrefix = "rankcube/internal/"
+
+func run(pass *framework.Pass) error {
+	library := strings.HasPrefix(pass.Pkg.Path(), libraryPrefix)
+	for _, file := range pass.Files {
+		checkMints(pass, file, library)
+		checkDroppedParams(pass, file)
+	}
+	return nil
+}
+
+// checkMints walks file tracking the enclosing-node stack and reports
+// context.Background/TODO calls that discard an in-scope caller context
+// (or, in library packages, mint one outside the nil-fallback shape).
+func checkMints(pass *framework.Pass, file *ast.File, library bool) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isContextMint(pass, call) {
+			return true
+		}
+		name := ast.Unparen(call.Fun).(*ast.SelectorExpr).Sel.Name
+		if ctxParam := enclosingCtxParam(pass, stack); ctxParam != nil {
+			if !isNilFallback(pass, stack, call, func(obj types.Object) bool { return obj == ctxParam }) {
+				pass.Reportf(call.Pos(),
+					"context.%s() discards the in-scope ctx parameter %q: thread the caller's context through", name, ctxParam.Name())
+			}
+			return true
+		}
+		if library && !isNilFallback(pass, stack, call, func(obj types.Object) bool { return isContextVar(obj) }) {
+			pass.Reportf(call.Pos(),
+				"context.%s() in a library package: accept a ctx from the caller instead of minting one", name)
+		}
+		return true
+	})
+}
+
+// isContextMint reports whether call is context.Background() or
+// context.TODO(), resolved through the type info (aliases included).
+func isContextMint(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// enclosingCtxParam returns the context.Context parameter of the innermost
+// enclosing function that declares one, or nil.
+func enclosingCtxParam(pass *framework.Pass, stack []ast.Node) *types.Var {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && isContextVar(obj) {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isNilFallback reports whether call is the right-hand side of a plain
+// assignment (`=`, not `:=`) to a variable accepted by ok — the
+// conventional `if ctx == nil { ctx = context.Background() }` shape.
+func isNilFallback(pass *framework.Pass, stack []ast.Node, call *ast.CallExpr, ok func(types.Object) bool) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	assign, isAssign := stack[len(stack)-2].(*ast.AssignStmt)
+	if !isAssign || assign.Tok != token.ASSIGN {
+		return false
+	}
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) != call || i >= len(assign.Lhs) {
+			continue
+		}
+		if ident, isIdent := assign.Lhs[i].(*ast.Ident); isIdent && ok(pass.TypesInfo.Uses[ident]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextVar reports whether obj is a variable of type context.Context.
+func isContextVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && framework.IsNamed(v.Type(), "context", "Context")
+}
+
+// checkDroppedParams flags named context parameters that the function body
+// never consults.
+func checkDroppedParams(pass *framework.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || !isContextVar(obj) {
+					continue
+				}
+				if !usesObject(pass, fn.Body, obj) {
+					pass.Reportf(name.Pos(),
+						"ctx parameter %q is accepted but never consulted: thread it into governed calls or rename it _", name.Name)
+				}
+			}
+		}
+	}
+	// Function literals assigned to variables share the same hazard.
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || !isContextVar(obj) {
+					continue
+				}
+				if !usesObject(pass, lit.Body, obj) {
+					pass.Reportf(name.Pos(),
+						"ctx parameter %q is accepted but never consulted: thread it into governed calls or rename it _", name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// usesObject reports whether any identifier under node resolves to obj.
+func usesObject(pass *framework.Pass, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ident, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[ident] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

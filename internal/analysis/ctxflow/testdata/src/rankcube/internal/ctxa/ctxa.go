@@ -1,0 +1,76 @@
+// Package ctxa exercises the ctxflow analyzer inside a library package
+// (import path under rankcube/internal/), where minting fresh contexts is
+// forbidden outside the nil-fallback shape.
+package ctxa
+
+import (
+	"context"
+	"time"
+)
+
+type config struct{ ctx context.Context }
+
+// Threaded consults its ctx: no findings.
+func Threaded(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Dropped accepts a ctx it never consults.
+func Dropped(ctx context.Context, n int) int { // want `ctx parameter "ctx" is accepted but never consulted`
+	return n + 1
+}
+
+// Blank explicitly discards its context: allowed.
+func Blank(_ context.Context, n int) int {
+	return n + 1
+}
+
+// Mint discards the caller's context for a fresh one.
+func Mint(ctx context.Context) error {
+	_ = ctx.Err()
+	return Threaded(context.Background()) // want `context.Background\(\) discards the in-scope ctx parameter "ctx"`
+}
+
+// MintTODO is the same hazard spelled TODO, inside a closure whose
+// enclosing function owns the ctx.
+func MintTODO(ctx context.Context) func() error {
+	_ = ctx.Err()
+	return func() error {
+		return Threaded(context.TODO()) // want `context.TODO\(\) discards the in-scope ctx parameter "ctx"`
+	}
+}
+
+// NilFallback is the one blessed Background shape: replacing a context the
+// caller declined to provide.
+func NilFallback(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return Threaded(ctx)
+}
+
+// ConfigFallback defaults a config-carried context through a local: also
+// the fallback shape (plain assignment to an existing context variable).
+func ConfigFallback(c config) error {
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return Threaded(ctx)
+}
+
+// LibraryMint mints a context with no caller context anywhere in scope —
+// forbidden in library packages.
+func LibraryMint() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `context.Background\(\) in a library package`
+	defer cancel()
+	return Threaded(ctx)
+}
+
+// LitDropped exercises the dropped-parameter check on function literals.
+func LitDropped() int {
+	f := func(ctx context.Context, n int) int { // want `ctx parameter "ctx" is accepted but never consulted`
+		return n * 2
+	}
+	return f(nil, 3)
+}

@@ -1,0 +1,40 @@
+// Package analysis hosts rankvet, the repository's custom static-analysis
+// suite. It mechanically enforces the safety invariants the robustness
+// layer depends on, so they hold by construction rather than by review:
+//
+//   - rawpanic: no raw panic outside internal/errs. Recoverable faults
+//     travel as typed aborts (errs.Abort/Abortf) so the public API boundary
+//     can convert them to errors; programmer-error assertions that should
+//     crash carry a //lint:invariant <reason> marker.
+//   - ctxflow: context flows down from the caller. Library packages
+//     (rankcube/internal/...) must not mint context.Background() or
+//     context.TODO(), and neither may any function that already has a
+//     context in scope — except the blessed nil-fallback assignment
+//     `ctx = context.Background()`. A named context parameter that the
+//     body never consults is also flagged (rename it _ if truly unused).
+//   - governedio: every page read is charged to the query governor.
+//     Store.ReadRaw, and governed accessors called with a nil counter,
+//     bypass budget/cancellation enforcement and are flagged unless marked
+//     //lint:ungoverned <reason> (legitimate for size accounting and
+//     rebuild bookkeeping).
+//   - errwrap: errors created in the public root package must %w-wrap a
+//     typed sentinel so callers can errors.Is them against the exported
+//     taxonomy; bare errors.New / unwrapped fmt.Errorf are flagged.
+//
+// Markers are ordinary comments placed on the flagged line or the line
+// directly above it, spelled //lint:<name> <reason>. The reason is
+// mandatory in spirit: it is the reviewable justification for the
+// exemption.
+//
+// The suite is self-hosted: subpackage framework reimplements the minimal
+// Analyzer/Pass/Diagnostic surface of golang.org/x/tools/go/analysis
+// (unvendorable in this environment) and loads packages via
+// `go list -deps -json` plus go/types. Subpackage analysistest runs an
+// analyzer over GOPATH-style fixture trees under testdata/src and checks
+// diagnostics against `// want "regexp"` comments, mirroring the upstream
+// analysistest contract — including failing on unmatched want comments, so
+// every fixture proves its analyzer actually fires.
+//
+// cmd/rankvet is the driver; `make lint` (folded into `make check`) runs
+// it over ./... and fails the build on any finding.
+package analysis

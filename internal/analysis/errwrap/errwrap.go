@@ -1,0 +1,78 @@
+// Package errwrap polices error construction at the public API boundary.
+//
+// Every error the public packages return must be classifiable by callers
+// switching on errors.Is against the internal/errs taxonomy. Errors that
+// merely propagate out of internal packages already carry a kind (PR 6
+// typed them); the remaining hazard is errors *originated* in a public
+// package: a bare errors.New or a fmt.Errorf without %w starts a fresh,
+// kindless error chain that matches no sentinel. The analyzer flags both
+// shapes in packages outside internal/ (commands are exempt: package main
+// errors terminate in a log line, not in a caller's errors.Is).
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"rankcube/internal/analysis/framework"
+)
+
+// Analyzer flags kindless error construction at the public boundary.
+var Analyzer = &framework.Analyzer{
+	Name: "errwrap",
+	Doc: "errors originated in public (non-internal, non-main) packages must wrap a cause " +
+		"or an errs sentinel with %w so callers can classify them with errors.Is",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	if strings.HasPrefix(path, "rankcube/internal/") || path == "rankcube/internal" || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass, call, "errors", "New"):
+				pass.Reportf(call.Pos(),
+					"errors.New at the public boundary starts a kindless error chain: wrap an errs sentinel with fmt.Errorf(..., %%w)")
+			case isPkgFunc(pass, call, "fmt", "Errorf"):
+				if format, known := constFormat(pass, call); known && !strings.Contains(format, "%w") {
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf without %%w at the public boundary: wrap the cause or an errs sentinel so errors.Is can classify it")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes pkg.name, resolved through the
+// type info (import aliases included).
+func isPkgFunc(pass *framework.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}
+
+// constFormat extracts the constant format string of a fmt.Errorf call.
+func constFormat(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,16 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"rankcube/internal/analysis/analysistest"
+	"rankcube/internal/analysis/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errwrap.Analyzer,
+		"pub",
+		"rankcube/internal/lib",
+		"cmdfix",
+	)
+}

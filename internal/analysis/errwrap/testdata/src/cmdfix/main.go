@@ -1,0 +1,18 @@
+// Command cmdfix shows the package-main exemption: command errors
+// terminate in a log line, not in a caller's errors.Is.
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Println(err)
+	}
+}
+
+func run() error {
+	return errors.New("cmdfix: flag misuse")
+}

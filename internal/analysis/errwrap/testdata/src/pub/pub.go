@@ -1,0 +1,36 @@
+// Package pub exercises the errwrap analyzer in a public (non-internal,
+// non-main) package, where originated errors must carry a wrapped cause or
+// sentinel.
+package pub
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A parallel sentinel taxonomy in a public package is itself a finding:
+// kinds belong in internal/errs.
+var errLocal = errors.New("pub: local sentinel") // want `errors.New at the public boundary`
+
+// Bare starts a kindless error chain.
+func Bare() error {
+	return errors.New("pub: something failed") // want `errors.New at the public boundary`
+}
+
+// Unwrapped formats a message with no %w: callers cannot classify it.
+func Unwrapped(name string) error {
+	return fmt.Errorf("pub: %s not found", name) // want `fmt.Errorf without %w at the public boundary`
+}
+
+// Wrapped carries its cause: clean.
+func Wrapped(name string, cause error) error {
+	return fmt.Errorf("pub: %s: %w", name, cause)
+}
+
+// Message is not an error constructor: clean.
+func Message(name string) string {
+	return fmt.Sprintf("pub: %s", name)
+}
+
+// use keeps the sentinel referenced.
+func use() error { return errLocal }

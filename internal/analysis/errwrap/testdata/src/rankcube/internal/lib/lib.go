@@ -1,0 +1,14 @@
+// Package lib shows the internal exemption: internal packages define
+// sentinels and messages freely; typing is enforced where they cross the
+// public boundary.
+package lib
+
+import "errors"
+
+// ErrThing is an internal sentinel: allowed.
+var ErrThing = errors.New("lib: thing unavailable")
+
+// Fail originates an internal error: allowed.
+func Fail() error {
+	return errors.New("lib: failed")
+}

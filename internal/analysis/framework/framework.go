@@ -1,0 +1,132 @@
+// Package framework is a minimal, dependency-free implementation of the
+// golang.org/x/tools/go/analysis model: an Analyzer holds a Run function
+// that inspects one type-checked package (a Pass) and reports Diagnostics.
+//
+// The build environment of this repository is hermetic — no module proxy —
+// so x/tools cannot be vendored; this package mirrors its API shape
+// (Analyzer, Pass, Reportf) closely enough that the analyzers in the
+// sibling packages can be ported to the real framework mechanically if the
+// dependency ever becomes available. Only the subset the rankvet suite
+// needs is implemented: no facts, no modular analysis, no SSA.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Name appears in diagnostics;
+// Doc is the one-paragraph rationale shown by `rankvet help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills in the Analyzer
+	// field and aggregates across packages.
+	Report func(Diagnostic)
+
+	// markers caches per-file //lint: markers, built on first use.
+	markers map[*ast.File]map[int]string
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// MarkerPrefix introduces a suppression/justification marker comment:
+// `//lint:<name> <reason>`. Markers are deliberately per-line — a marker
+// blesses exactly one statement, never a region.
+const MarkerPrefix = "lint:"
+
+// Marked reports whether node carries the given //lint:<name> marker: a
+// marker comment on the node's line, or one whose comment group ends on
+// the line immediately above (the conventional placement).
+func (p *Pass) Marked(node ast.Node, name string) bool {
+	file := p.FileOf(node)
+	if file == nil {
+		return false
+	}
+	if p.markers == nil {
+		p.markers = make(map[*ast.File]map[int]string)
+	}
+	byLine, ok := p.markers[file]
+	if !ok {
+		byLine = make(map[int]string)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, MarkerPrefix) {
+					continue
+				}
+				marker := strings.TrimPrefix(text, MarkerPrefix)
+				if i := strings.IndexAny(marker, " \t"); i >= 0 {
+					marker = marker[:i]
+				}
+				byLine[p.Fset.Position(c.Pos()).Line] = marker
+			}
+		}
+		p.markers[file] = byLine
+	}
+	line := p.Fset.Position(node.Pos()).Line
+	return byLine[line] == name || byLine[line-1] == name
+}
+
+// FileOf returns the *ast.File of the pass containing node, or nil.
+func (p *Pass) FileOf(node ast.Node) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= node.Pos() && node.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// IsNamed reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,277 @@
+package framework
+
+// Package loading without golang.org/x/tools/go/packages: file discovery is
+// delegated to `go list -deps -json` (which resolves build constraints,
+// import maps, and GOROOT vendoring, and emits packages in dependency
+// order), and type checking is done from source with go/types. Export data
+// is never consulted, so the loader works in a hermetic build environment
+// with an empty module cache.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader type-checks packages from source, caching results so shared
+// dependencies (in particular the standard library closure) are checked
+// once per process.
+type Loader struct {
+	fset  *token.FileSet
+	dir   string // working directory for `go list`
+	sizes types.Sizes
+	typed map[string]*types.Package
+	meta  map[string]*listedPkg
+}
+
+// NewLoader returns a loader that runs `go list` in dir ("" = process cwd).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		fset:  token.NewFileSet(),
+		dir:   dir,
+		sizes: types.SizesFor("gc", runtime.GOARCH),
+		typed: make(map[string]*types.Package),
+		meta:  make(map[string]*listedPkg),
+	}
+}
+
+// Fset exposes the loader's shared file set for position rendering.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load lists patterns with the go tool and type-checks the matched packages
+// and their dependency closure, returning the matched (non-dependency-only)
+// packages with full syntax and type information, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		tp, err := l.check(lp, !lp.DepOnly)
+		if err != nil {
+			return nil, err
+		}
+		if tp != nil {
+			out = append(out, tp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// goList runs `go list -deps -json` (cgo disabled, so pure-Go fallback
+// files are selected and everything type-checks from source) and returns
+// the packages in the tool's dependency-first order.
+func (l *Loader) goList(patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+	dec := json.NewDecoder(outPipe)
+	var listed []*listedPkg
+	for {
+		lp := new(listedPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	for _, lp := range listed {
+		l.meta[lp.ImportPath] = lp
+	}
+	return listed, nil
+}
+
+// check type-checks one listed package (dependencies must already be in the
+// cache — guaranteed by go list's output order). It returns a *Package only
+// when keep is set; dependency-only packages cache their types and drop
+// their syntax.
+func (l *Loader) check(lp *listedPkg, keep bool) (*Package, error) {
+	if lp.Error != nil {
+		return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	if _, done := l.typed[lp.ImportPath]; done && !keep {
+		return nil, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		l.typed["unsafe"] = types.Unsafe
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := lp.ImportMap[path]; ok {
+				path = mapped
+			}
+			dep, ok := l.typed[path]
+			if !ok {
+				return nil, fmt.Errorf("package %s not loaded (wanted by %s)", path, lp.ImportPath)
+			}
+			return dep, nil
+		}),
+		Sizes: l.sizes,
+	}
+	tpkg, err := conf.Check(lp.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	l.typed[lp.ImportPath] = tpkg
+	if !keep {
+		return nil, nil
+	}
+	return &Package{Path: lp.ImportPath, Name: tpkg.Name(), Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadOverlay type-checks the package rooted at srcRoot/path, resolving
+// imports first against srcRoot (GOPATH-style fixture trees: the directory
+// srcRoot/<import path> holds the package) and otherwise against the real
+// standard library. It is the loading mode of the analysistest harness.
+func (l *Loader) LoadOverlay(srcRoot, path string) (*Package, error) {
+	return l.loadOverlay(srcRoot, path, make(map[string]bool))
+}
+
+func (l *Loader) loadOverlay(srcRoot, path string, loading map[string]bool) (*Package, error) {
+	dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+	names, err := overlayFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	loading[path] = true
+	defer delete(loading, path)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			return l.resolve(srcRoot, imp, loading)
+		}),
+		Sizes: l.sizes,
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	l.typed[path] = tpkg
+	return &Package{Path: path, Name: tpkg.Name(), Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// resolve satisfies an import from a fixture: overlay directories win, then
+// the cache, then the standard library (loaded on demand through go list).
+func (l *Loader) resolve(srcRoot, path string, loading map[string]bool) (*types.Package, error) {
+	if tp, ok := l.typed[path]; ok {
+		return tp, nil
+	}
+	if names, err := overlayFiles(filepath.Join(srcRoot, filepath.FromSlash(path))); err == nil && len(names) > 0 {
+		pkg, err := l.loadOverlay(srcRoot, path, loading)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	listed, err := l.goList([]string{path})
+	if err != nil {
+		return nil, fmt.Errorf("import %q: not in fixture tree and %v", path, err)
+	}
+	for _, lp := range listed {
+		if _, err := l.check(lp, false); err != nil {
+			return nil, err
+		}
+	}
+	tp, ok := l.typed[path]
+	if !ok {
+		return nil, fmt.Errorf("import %q: not resolved", path)
+	}
+	return tp, nil
+}
+
+// overlayFiles lists the non-test .go files of a fixture directory.
+func overlayFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return names, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,15 @@
+package governedio_test
+
+import (
+	"testing"
+
+	"rankcube/internal/analysis/analysistest"
+	"rankcube/internal/analysis/governedio"
+)
+
+func TestGovernedIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), governedio.Analyzer,
+		"rankcube/internal/engine",
+		"rankcube/internal/pager",
+	)
+}

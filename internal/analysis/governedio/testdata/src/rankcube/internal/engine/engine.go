@@ -1,0 +1,41 @@
+// Package engine exercises the governedio analyzer from the perspective of
+// an engine package reading pages.
+package engine
+
+import (
+	"rankcube/internal/pager"
+	"rankcube/internal/stats"
+)
+
+// Query reads through the governed accessor with real counters: clean.
+func Query(s *pager.Store, c *stats.Counters) []byte {
+	return s.Read(0, c)
+}
+
+// Bypass dodges read accounting entirely.
+func Bypass(s *pager.Store) []byte {
+	return s.ReadRaw(0) // want `Store.ReadRaw bypasses governed read accounting`
+}
+
+// SizeOf is the blessed ReadRaw shape: maintenance bookkeeping under an
+// explicit marker.
+func SizeOf(s *pager.Store) int {
+	//lint:ungoverned size accounting, not a query path
+	return len(s.ReadRaw(0))
+}
+
+// Uncharged passes nil counters, charging the read to nobody.
+func Uncharged(s *pager.Store) []byte {
+	return s.Read(0, nil) // want `Store.Read with nil Counters charges the read to nobody`
+}
+
+// BufferedUncharged shows the same hazard through the buffer wrapper.
+func BufferedUncharged(b *pager.Buffer) {
+	b.Touch(0, nil) // want `Buffer.Touch with nil Counters charges the read to nobody`
+}
+
+// Rebuild is a marked maintenance path: the builder charges reads itself.
+func Rebuild(s *pager.Store) {
+	//lint:ungoverned rebuild path, charged in bulk by the builder
+	s.Touch(0, nil)
+}

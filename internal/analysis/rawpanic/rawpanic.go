@@ -1,0 +1,64 @@
+// Package rawpanic flags calls to the builtin panic outside internal/errs.
+//
+// PR 6 made "no panic escapes the public API" a hard invariant: engine
+// faults travel as typed aborts (errs.Abortf) that the API boundary
+// recovers into errors the taxonomy can classify. A raw panic defeats that
+// classification — it surfaces as a generic ErrInternal at best, and as a
+// process crash from any un-governed entry point. The only legitimate raw
+// panics are programmer-error assertions (corrupted in-memory state,
+// violated preconditions that no input can trigger); those must carry a
+// `//lint:invariant <reason>` marker on or directly above the call so the
+// justification is reviewable.
+package rawpanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rankcube/internal/analysis/framework"
+)
+
+// errsPath is the one package whose panics ARE the abort mechanism.
+const errsPath = "rankcube/internal/errs"
+
+// Marker is the justification marker accepted on assertion panics.
+const Marker = "invariant"
+
+// Analyzer flags raw panic calls outside internal/errs.
+var Analyzer = &framework.Analyzer{
+	Name: "rawpanic",
+	Doc: "flags panic(...) outside internal/errs: recoverable fault paths must use " +
+		"errs.Abortf so the API boundary can classify them; programmer-error assertions " +
+		"must carry a //lint:invariant marker",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Path() == errsPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := call.Fun.(*ast.Ident)
+			if !ok || ident.Name != "panic" {
+				return true
+			}
+			// A local declaration may shadow the builtin; only the real
+			// builtin is a fault-path hazard.
+			if obj, ok := pass.TypesInfo.Uses[ident].(*types.Builtin); !ok || obj.Name() != "panic" {
+				return true
+			}
+			if pass.Marked(call, Marker) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw panic outside internal/errs: use errs.Abortf for recoverable faults, or mark the assertion //lint:invariant <reason>")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package rawpanic_test
+
+import (
+	"testing"
+
+	"rankcube/internal/analysis/analysistest"
+	"rankcube/internal/analysis/rawpanic"
+)
+
+func TestRawPanic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rawpanic.Analyzer,
+		"rankcube/internal/demo",
+		"rankcube/internal/errs",
+	)
+}

@@ -1,0 +1,10 @@
+// Package errs stubs the abort machinery: its panics ARE the typed-abort
+// mechanism and are exempt from the rawpanic analyzer.
+package errs
+
+type abort struct{ err error }
+
+// Abort unwinds the current query with a typed panic.
+func Abort(err error) {
+	panic(abort{err: err})
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"sort"
+
+	"rankcube/internal/analysis/ctxflow"
+	"rankcube/internal/analysis/errwrap"
+	"rankcube/internal/analysis/framework"
+	"rankcube/internal/analysis/governedio"
+	"rankcube/internal/analysis/rawpanic"
+)
+
+// Suite returns the rankvet analyzers in reporting order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		rawpanic.Analyzer,
+		ctxflow.Analyzer,
+		governedio.Analyzer,
+		errwrap.Analyzer,
+	}
+}
+
+// Run applies every analyzer in the suite to each package and returns the
+// aggregated diagnostics sorted by source position.
+func Run(pkgs []*framework.Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	var diags []framework.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d framework.Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return pi.Column < pj.Column
+		})
+	}
+	return diags, nil
+}

@@ -127,7 +127,7 @@ func TestRankingFirstReadsFewBlocksForSmallK(t *testing.T) {
 func TestOptimalBoxLinearMatchesThesisExample(t *testing.T) {
 	// Thesis §3.5.1: kth score 100 under N1 + 2·N2 gives n1 = 100, n2 = 50
 	// (over a domain starting at 0).
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"n1", "n2"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"n1", "n2"}})
 	tb.Append([]int32{0}, []float64{0, 0})
 	tb.Append([]int32{0}, []float64{200, 200})
 	f := ranking.Linear([]int{0, 1}, []float64{1, 2})
@@ -219,7 +219,7 @@ func TestOnionStopsEarlyWithoutSelections(t *testing.T) {
 
 func TestConvexHullDegenerate(t *testing.T) {
 	// All-collinear points must still peel to completion.
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"x", "y"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"x", "y"}})
 	for i := 0; i < 50; i++ {
 		v := float64(i) / 50
 		tb.Append([]int32{0}, []float64{v, v})

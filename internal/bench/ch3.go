@@ -76,7 +76,7 @@ func (e *ch3Env) measure(queries []ch3Query, cfg Config) map[string]measurement 
 		"ranking-cube": run(cfg, len(queries), func(qi int, ctr *stats.Counters) {
 			q := queries[qi]
 			if _, err := e.cube.TopK(gridcube.Query{Cond: q.cond, F: q.f, K: q.k}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		}),
 		"rank-mapping": run(cfg, len(queries), func(qi int, ctr *stats.Counters) {
@@ -232,7 +232,7 @@ func fig3_10(cfg Config) *Report {
 		m := run(cfg, len(queries), func(qi int, ctr *stats.Counters) {
 			q := queries[qi]
 			if _, err := cube.TopK(gridcube.Query{Cond: q.cond, F: q.f, K: q.k}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		series.Points = append(series.Points, Point{X: fmt.Sprintf("B=%d", b), Value: m.ms()})
@@ -286,7 +286,7 @@ func fig3_12(cfg Config) *Report {
 			}
 			f := ranking.Sum(0, 1)
 			if _, err := cube.TopK(gridcube.Query{Cond: cond, F: f, K: 10}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		series.Points = append(series.Points, Point{X: fmt.Sprintf("%d", nf+1), Value: m.ms()})
@@ -308,7 +308,7 @@ func fig3_13(cfg Config) *Report {
 		m := run(cfg, len(queries), func(qi int, ctr *stats.Counters) {
 			q := queries[qi]
 			if _, err := cube.TopK(gridcube.Query{Cond: q.cond, F: q.f, K: q.k}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		series.Points = append(series.Points, Point{X: fmt.Sprintf("F=%d", f), Value: m.ms()})

@@ -195,7 +195,7 @@ func fig4_12(cfg Config) *Report {
 		})
 		mS := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := cube.TopK(conds[qi], funcs[qi], k, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		bSer.Points = append(bSer.Points, Point{X: x, Value: mB.ms()})
@@ -232,7 +232,7 @@ func fig4_13(cfg Config) *Report {
 		})
 		mS := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := cube.TopK(conds[qi], funcs[qi], 100, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		rSer.Points = append(rSer.Points, Point{X: fname, Value: mR.avgReads(stats.StructRTree)})

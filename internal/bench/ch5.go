@@ -62,9 +62,7 @@ func newCh5Env(cfg Config, thesisRows int) *ch5Env {
 		btree.Build(tb, 1, dom, btree.Config{}),
 	}
 	js, err := indexmerge.BuildJoinSignature(idx, tb.Len(), indexmerge.JoinSigConfig{})
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	return &ch5Env{tb: tb, idx: idx, js: js, heap: baselines.NewHeapFile(tb, 0)}
 }
 
@@ -87,7 +85,7 @@ func (e *ch5Env) measure(cfg Config, fname string, k int, opts indexmerge.Option
 	return run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 		f := ch5Func(cfg, fname, qi)
 		if _, err := indexmerge.TopK(e.idx, f, k, opts, ctr); err != nil {
-			panic(err)
+			must(err)
 		}
 	})
 }
@@ -109,7 +107,7 @@ func tbl5_1(cfg Config) *Report {
 	runOne := func(opts indexmerge.Options) *stats.Counters {
 		ctr := stats.New()
 		if _, err := indexmerge.TopK(env.idx, f, 100, opts, ctr); err != nil {
-			panic(err)
+			must(err)
 		}
 		return ctr
 	}
@@ -198,9 +196,7 @@ func fig5_13(cfg Config) *Report {
 		rtree.Bulk(tb, []int{3, 4, 5}, dom, rtree.Config{}),
 	}
 	js, err := indexmerge.BuildJoinSignature(idx, tb.Len(), indexmerge.JoinSigConfig{})
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	h := baselines.NewHeapFile(tb, 0)
 	ts := baselines.NewTableScan(h)
 
@@ -233,7 +229,7 @@ func fig5_13(cfg Config) *Report {
 		} {
 			m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 				if _, err := indexmerge.TopK(idx, fsFor(qi), k, cfg2.opts, ctr); err != nil {
-					panic(err)
+					must(err)
 				}
 			})
 			cfg2.s.Points = append(cfg2.s.Points, Point{X: x, Value: m.ms()})
@@ -281,9 +277,7 @@ func fig5_14(cfg Config) *Report {
 			rtree.Bulk(tb, dims2, dom, rtree.Config{}),
 		}
 		js, err := indexmerge.BuildJoinSignature(idx, tb.Len(), indexmerge.JoinSigConfig{})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		h := baselines.NewHeapFile(tb, 0)
 		ts := baselines.NewTableScan(h)
 		fsFor := func(qi int) ranking.Func {
@@ -299,13 +293,13 @@ func fig5_14(cfg Config) *Report {
 		tsS.Points = append(tsS.Points, Point{X: x, Value: m.ms()})
 		m = run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := indexmerge.TopK(idx, fsFor(qi), 100, indexmerge.Options{}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		peS.Points = append(peS.Points, Point{X: x, Value: m.ms()})
 		m = run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := indexmerge.TopK(idx, fsFor(qi), 100, indexmerge.Options{Pruner: js}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		sigS.Points = append(sigS.Points, Point{X: x, Value: m.ms()})
@@ -330,15 +324,11 @@ func newThreeWayEnv(cfg Config) *threeWayEnv {
 		idx = append(idx, btree.Build(tb, d, dom, btree.Config{}))
 	}
 	sig3, err := indexmerge.BuildJoinSignature(idx, tb.Len(), indexmerge.JoinSigConfig{})
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	pairs := map[[2]int]*indexmerge.JoinSignature{}
 	for _, pr := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
 		js, err := indexmerge.BuildJoinSignature([]hindex.Index{idx[pr[0]], idx[pr[1]]}, tb.Len(), indexmerge.JoinSigConfig{})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		pairs[pr] = js
 	}
 	return &threeWayEnv{tb: tb, idx: idx, sig3: sig3, pairs: &indexmerge.PairwisePruner{Pairs: pairs}}
@@ -368,7 +358,7 @@ func fig5_threeWay(cfg Config, id string, kind metricKind) *Report {
 		add := func(s *Series, opts indexmerge.Options) {
 			m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 				if _, err := indexmerge.TopK(env.idx, fsFor(qi), k, opts, ctr); err != nil {
-					panic(err)
+					must(err)
 				}
 			})
 			var v float64
@@ -416,7 +406,7 @@ func fig5_18(cfg Config) *Report {
 			}
 			f := ranking.SqDist(attrs, target)
 			if _, err := indexmerge.TopK(idx, f, 100, indexmerge.Options{}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		pe.Points = append(pe.Points, Point{X: fmt.Sprintf("r=%d", nattr), Value: m.ms()})
@@ -441,7 +431,7 @@ func fig5_19(cfg Config) *Report {
 		m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			f := ch5Func(cfg, "fs", qi)
 			if _, err := indexmerge.TopK(idx, f, 100, indexmerge.Options{}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		pe.Points = append(pe.Points, Point{X: fmt.Sprintf("%dB", page), Value: m.ms()})
@@ -482,7 +472,7 @@ func fig5_21(cfg Config) *Report {
 		}
 		start := time.Now()
 		if _, err := indexmerge.BuildJoinSignature(idx, tb.Len(), indexmerge.JoinSigConfig{}); err != nil {
-			panic(err)
+			must(err)
 		}
 		s.Points = append(s.Points, Point{X: fmt.Sprintf("%dM", millions), Value: ms(time.Since(start))})
 	}
@@ -504,9 +494,7 @@ func fig5_22(cfg Config) *Report {
 			btree.Build(tb, 1, dom, btree.Config{}),
 		}
 		js, err := indexmerge.BuildJoinSignature(idx, tb.Len(), indexmerge.JoinSigConfig{})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		s.Points = append(s.Points, Point{X: fmt.Sprintf("%dM", millions),
 			Value: float64(js.SizeBytes()) / (1 << 20)})
 	}

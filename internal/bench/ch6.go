@@ -103,7 +103,7 @@ func fig6_3(cfg Config) *Report {
 		x := fmt.Sprintf("%d", keyCard)
 		m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := joinquery.Execute(env.query(cfg, qi, 10), joinquery.Options{}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		rc.Points = append(rc.Points, Point{X: x, Value: m.ms()})
@@ -127,7 +127,7 @@ func fig6_4(cfg Config) *Report {
 		x := fmt.Sprintf("%dk", thousands)
 		m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := joinquery.Execute(env.query(cfg, qi, 10), joinquery.Options{}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		rc.Points = append(rc.Points, Point{X: x, Value: m.ms()})

@@ -128,17 +128,13 @@ func (e *ch7Env) rankingSkyline(q skyline.Query, ctr *stats.Counters) int {
 	vt := &verifyTester{env: e, cond: q.Cond, buf: ctr,
 		height: e.cube.Tree().Height(), pages: map[int32]bool{}}
 	res, _, err := e.engine.SkylineWithTester(q, vt, ctr)
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	return len(res)
 }
 
 func (e *ch7Env) signatureSkyline(q skyline.Query, ctr *stats.Counters) int {
 	res, _, err := e.engine.Skyline(q, ctr)
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	return len(res)
 }
 
@@ -296,7 +292,7 @@ func fig7_10(cfg Config) *Report {
 	for _, h := range []int{0, 1, 2, 3} {
 		// Blend: h dims from an anti-correlated draw, the rest uniform.
 		anti := dataset.Synthetic(n, 3, 3, 100, table.AntiCorrelated, cfg.Seed)
-		tb := table.New(anti.Schema())
+		tb := table.MustNew(anti.Schema())
 		uni := dataset.Synthetic(n, 3, 3, 100, table.Uniform, cfg.Seed+1)
 		sel := make([]int32, 3)
 		rank := make([]float64, 3)
@@ -371,15 +367,13 @@ func fig7_12(cfg Config) *Report {
 		for qi := 0; qi < cfg.Queries; qi++ {
 			q := ch7Query(cfg, tb, qi, np, 2)
 			inner, any, err := env.cube.TesterFor(q.Cond, agg)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			if !any {
 				continue
 			}
 			tt := &timedTester{inner: inner, ctr: agg}
 			if _, _, err := env.engine.SkylineWithTester(q, tt, agg); err != nil {
-				panic(err)
+				must(err)
 			}
 		}
 		elapsed := time.Since(start)
@@ -406,18 +400,16 @@ func fig7_13(cfg Config) *Report {
 		base := skyline.Query{Cond: core.Cond{0: int32(rng.Intn(20))}, Dims: []int{0, 1}}
 		extra := core.Cond{1: int32(rng.Intn(20))}
 		_, snap, err := env.engine.Skyline(base, stats.New())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		start := time.Now()
 		if _, _, err := env.engine.DrillDown(snap, extra, stats.New()); err != nil {
-			panic(err)
+			must(err)
 		}
 		dTime := time.Since(start)
 		tight := skyline.Query{Cond: core.Cond{0: base.Cond[0], 1: extra[1]}, Dims: []int{0, 1}}
 		start = time.Now()
 		if _, _, err := env.engine.Skyline(tight, stats.New()); err != nil {
-			panic(err)
+			must(err)
 		}
 		fTime := time.Since(start)
 		x := fmt.Sprintf("q%d", qi+1)
@@ -443,18 +435,16 @@ func fig7_14(cfg Config) *Report {
 			Dims: []int{0, 1},
 		}
 		_, snap, err := env.engine.Skyline(base, stats.New())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		start := time.Now()
 		if _, _, err := env.engine.RollUp(snap, []int{1}, stats.New()); err != nil {
-			panic(err)
+			must(err)
 		}
 		rTime := time.Since(start)
 		relaxed := skyline.Query{Cond: core.Cond{0: base.Cond[0]}, Dims: []int{0, 1}}
 		start = time.Now()
 		if _, _, err := env.engine.Skyline(relaxed, stats.New()); err != nil {
-			panic(err)
+			must(err)
 		}
 		fTime := time.Since(start)
 		x := fmt.Sprintf("q%d", qi+1)

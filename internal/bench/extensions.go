@@ -40,7 +40,7 @@ func extIDList(cfg Config) *Report {
 		return run(cfg, len(queries), func(qi int, ctr *stats.Counters) {
 			q := queries[qi]
 			if _, err := cube.TopK(gridcube.Query{Cond: q.cond, F: q.f, K: q.k}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 	}
@@ -76,7 +76,7 @@ func extBloom(cfg Config) *Report {
 	measure := func(cube *sigcube.Cube) measurement {
 		return run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := cube.TopK(conds[qi], f, 20, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 	}
@@ -132,7 +132,7 @@ func extOnion(cfg Config) *Report {
 		onionS.Points = append(onionS.Points, Point{X: w.name, Value: m.ms()})
 		m = run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := cube.TopK(gridcube.Query{Cond: w.cond, F: f(), K: 10}, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		cubeS.Points = append(cubeS.Points, Point{X: w.name, Value: m.ms()})
@@ -166,13 +166,13 @@ func extGridPart(cfg Config) *Report {
 		x := dist.String()
 		m := run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := cubeGrid.TopK(conds[qi], funcs[qi], 20, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		gridS.Points = append(gridS.Points, Point{X: x, Value: m.ms()})
 		m = run(cfg, cfg.Queries, func(qi int, ctr *stats.Counters) {
 			if _, err := cubeRTree.TopK(conds[qi], funcs[qi], 20, ctr); err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		rtreeS.Points = append(rtreeS.Points, Point{X: x, Value: m.ms()})

@@ -224,11 +224,22 @@ func runOne(exec func(qi int, ctr *stats.Counters), qi int, ctr *stats.Counters)
 				canceled = true
 				return
 			}
+			//lint:invariant re-raise: the harness must not mask engine bugs
 			panic(r)
 		}
 	}()
 	exec(qi, ctr)
 	return false
+}
+
+// must stops the experiment on a query error. Benchmark workloads are fixed
+// and known-good, so any error reaching the harness is a bug in the harness
+// or the engine, not a recoverable fault.
+func must(err error) {
+	if err != nil {
+		//lint:invariant benchmark workloads are known-good; an error is a harness bug
+		panic(err)
+	}
 }
 
 // workloadRand returns the harness RNG for query generation.

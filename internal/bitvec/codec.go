@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"rankcube/internal/errs"
 )
 
 // Coding schemes for signature nodes (thesis Table 4.2 / §4.2.2). The 3-bit
@@ -71,6 +73,7 @@ type Codec struct {
 // NewCodec returns a codec for node arrays of length at most m (m ≥ 2).
 func NewCodec(m int) *Codec {
 	if m < 2 {
+		//lint:invariant fanout is fixed at build time by the partition config
 		panic("bitvec: codec fanout must be >= 2")
 	}
 	nbits := BitsFor(m)
@@ -122,6 +125,7 @@ func (c *Codec) EncodedBits(b *Bits) int {
 func (c *Codec) EncodeWith(w *Writer, b *Bits, scheme int) {
 	n, ok := c.regionBits(b, scheme)
 	if !ok {
+		//lint:invariant Encode pre-selects a scheme that fits; a miss is a codec bug
 		panic(fmt.Sprintf("bitvec: %s region for %d-bit array exceeds cap", SchemeName(scheme), b.Len()))
 	}
 	w.WriteBits(uint64(scheme), 3)
@@ -129,6 +133,7 @@ func (c *Codec) EncodeWith(w *Writer, b *Bits, scheme int) {
 	start := w.Len()
 	c.writeRegion(w, b, scheme)
 	if w.Len()-start != n {
+		//lint:invariant writer must emit exactly the region size it computed
 		panic(fmt.Sprintf("bitvec: %s region size mismatch: wrote %d want %d", SchemeName(scheme), w.Len()-start, n))
 	}
 }
@@ -180,7 +185,9 @@ func (c *Codec) Decode(r *Reader) *Bits {
 			c.complement(out)
 		}
 	default:
-		panic(fmt.Sprintf("bitvec: unknown scheme %d", scheme))
+		// The scheme header came off a stored page: an unknown value means
+		// the page bytes are corrupt, not that the caller erred.
+		errs.Abortf(errs.ErrPageCorrupt, "bitvec: unknown scheme %d", scheme)
 	}
 	if r.Pos() != end {
 		r.Seek(end)

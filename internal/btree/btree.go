@@ -231,6 +231,7 @@ func (tr *Tree) NumChildren(id hindex.NodeID) int { return len(tr.nodes[id].lo) 
 func (tr *Tree) Children(id hindex.NodeID) []hindex.ChildRef {
 	nd := tr.nodes[id]
 	if nd.leaf {
+		//lint:invariant hindex contract: Children is only defined on internal nodes
 		panic(fmt.Sprintf("btree: Children on leaf node %d", id))
 	}
 	out := make([]hindex.ChildRef, len(nd.kids))
@@ -249,6 +250,7 @@ func (tr *Tree) ChildAt(id hindex.NodeID, slot int) hindex.NodeID {
 func (tr *Tree) LeafEntries(id hindex.NodeID) []hindex.LeafEntry {
 	nd := tr.nodes[id]
 	if !nd.leaf {
+		//lint:invariant hindex contract: LeafEntries is only defined on leaves
 		panic(fmt.Sprintf("btree: LeafEntries on internal node %d", id))
 	}
 	out := make([]hindex.LeafEntry, len(nd.tids))

@@ -137,7 +137,7 @@ func TestAccessorChargesReads(t *testing.T) {
 }
 
 func TestEmptyTree(t *testing.T) {
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"n", "m"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"n", "m"}})
 	tr := Build(tb, 0, ranking.UnitBox(2), Config{})
 	if tr.Root() != hindex.InvalidNode {
 		t.Fatal("empty tree has a root")

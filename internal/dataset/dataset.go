@@ -38,7 +38,7 @@ func ForestCover(n int, seed int64) *table.Table {
 		SelCard:   append([]int(nil), ForestCoverCards...),
 		RankNames: []string{"elevation", "h_dist_road", "h_dist_fire"},
 	}
-	t := table.New(schema)
+	t := table.MustNew(schema)
 	rng := rand.New(rand.NewSource(seed))
 	sel := make([]int32, len(schema.SelCard))
 	rank := make([]float64, 3)
@@ -85,7 +85,7 @@ func ForestCoverWide(n int, seed int64) *table.Table {
 		SelCard:   []int{2},
 		RankNames: []string{"a1", "a2", "a3", "a4", "a5", "a6"},
 	}
-	t := table.New(schema)
+	t := table.MustNew(schema)
 	rng := rand.New(rand.NewSource(seed))
 	rank := make([]float64, 6)
 	for i := 0; i < n; i++ {

@@ -22,6 +22,10 @@
 //   - ErrInternal — a panic escaped engine code and was converted at the
 //     public API boundary; degradable (the baseline path shares no state
 //     with the failed engine).
+//   - ErrInvalidArgument — the caller handed the API a malformed request
+//     (inconsistent schema, missing snapshot, unsupported operation on
+//     this structure). Never degrades: a baseline scan cannot answer a
+//     question that was ill-posed.
 //
 // # Aborts
 //
@@ -48,6 +52,7 @@ var (
 	ErrReadFailed           = errors.New("page read failed")
 	ErrStructureUnavailable = errors.New("structure unavailable")
 	ErrInternal             = errors.New("internal engine fault")
+	ErrInvalidArgument      = errors.New("invalid argument")
 )
 
 // abort is the payload of a typed abort panic. It deliberately does not

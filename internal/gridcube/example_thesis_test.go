@@ -15,7 +15,7 @@ import (
 //
 // returns t1 (score 0.1) and t3 (score 0.3).
 func TestThesisRunningExample(t *testing.T) {
-	tb := table.New(table.Schema{
+	tb := table.MustNew(table.Schema{
 		SelNames:  []string{"A1", "A2"},
 		SelCard:   []int{3, 3},
 		RankNames: []string{"N1", "N2"},

@@ -84,7 +84,7 @@ func (c *Cube) Repartition() map[table.TID]table.TID {
 	source := c.t
 	if len(c.tombstones) > 0 {
 		remap = make(map[table.TID]table.TID)
-		compact := table.New(source.Schema())
+		compact := table.MustNew(source.Schema())
 		selBuf := make([]int32, source.Schema().S())
 		rankBuf := make([]float64, source.Schema().R())
 		for i := 0; i < source.Len(); i++ {

@@ -85,6 +85,7 @@ type Tree struct {
 func Build(t *table.Table, dims []int, domain ranking.Box, cfg Config) *Tree {
 	d := len(dims)
 	if d == 0 {
+		//lint:invariant cuboid construction never requests a 0-dimensional grid
 		panic("gridtree: no dimensions")
 	}
 	fanout := cfg.fanoutFor(d)
@@ -199,7 +200,7 @@ func projectTable(t *table.Table, dims []int) *table.Table {
 	for i, d := range dims {
 		names[i] = t.Schema().RankNames[d]
 	}
-	out := table.New(table.Schema{
+	out := table.MustNew(table.Schema{
 		SelNames: []string{"x"}, SelCard: []int{1}, RankNames: names,
 	})
 	row := make([]float64, len(dims))

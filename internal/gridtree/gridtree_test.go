@@ -129,7 +129,7 @@ func TestSignatureCubeOverGridPartition(t *testing.T) {
 }
 
 func TestEmptyTree(t *testing.T) {
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"x", "y"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"x", "y"}})
 	tr := Build(tb, []int{0, 1}, ranking.UnitBox(2), Config{})
 	if tr.Root() != hindex.InvalidNode || tr.Height() != 0 {
 		t.Fatal("empty build produced structure")

@@ -313,7 +313,7 @@ func TestNeighborhoodExpansionEngages(t *testing.T) {
 }
 
 func TestMergeEmptyIndexReturnsNil(t *testing.T) {
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"x", "y"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"x", "y"}})
 	dom := ranking.UnitBox(2)
 	idx := []hindex.Index{
 		btree.Build(tb, 0, dom, btree.Config{}),

@@ -45,6 +45,7 @@ type Relation struct {
 // NewRelation wraps a relation, building its key-presence filter.
 func NewRelation(name string, t *table.Table, cube *sigcube.Cube, keys []int32, keyCard int) *Relation {
 	if len(keys) != t.Len() {
+		//lint:invariant documented precondition: one join key per tuple
 		panic(fmt.Sprintf("joinquery: %d keys for %d tuples", len(keys), t.Len()))
 	}
 	r := &Relation{Name: name, T: t, Cube: cube, Keys: keys, KeyCard: keyCard,

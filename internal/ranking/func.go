@@ -73,6 +73,7 @@ type LinearFunc struct {
 // entries are sorted (with weights permuted to match).
 func Linear(attrs []int, weights []float64) *LinearFunc {
 	if len(attrs) != len(weights) {
+		//lint:invariant documented precondition: one weight per attribute
 		panic("ranking: Linear attrs/weights length mismatch")
 	}
 	idx := make([]int, len(attrs))
@@ -213,6 +214,7 @@ func L1Dist(attrs []int, target []float64) *DistFunc {
 
 func newDist(attrs []int, target []float64, l1 bool) *DistFunc {
 	if len(attrs) != len(target) {
+		//lint:invariant documented precondition: one coordinate per attribute
 		panic("ranking: distance attrs/target length mismatch")
 	}
 	idx := make([]int, len(attrs))

@@ -260,6 +260,7 @@ func (tr *Tree) Delete(tid table.TID) ([]table.TID, bool) {
 		}
 	}
 	if slot < 0 {
+		//lint:invariant leafOf and leaf contents are updated together; a miss is tree corruption
 		panic(fmt.Sprintf("rtree: leafOf inconsistent for tid %d", tid))
 	}
 	affected := map[table.TID]struct{}{}

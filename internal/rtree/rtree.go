@@ -136,6 +136,7 @@ func (c Config) fanoutFor(d int) int {
 func New(dims []int, rdims int, domain ranking.Box, cfg Config) *Tree {
 	d := len(dims)
 	if d == 0 {
+		//lint:invariant cuboid construction never requests a 0-dimensional tree
 		panic("rtree: no dimensions")
 	}
 	fanout := cfg.fanoutFor(d)
@@ -376,6 +377,7 @@ func (tr *Tree) NumChildren(id hindex.NodeID) int { return tr.nodes[id].numEntri
 func (tr *Tree) Children(id hindex.NodeID) []hindex.ChildRef {
 	nd := tr.nodes[id]
 	if nd.leaf {
+		//lint:invariant hindex contract: Children is only defined on internal nodes
 		panic(fmt.Sprintf("rtree: Children on leaf node %d", id))
 	}
 	out := make([]hindex.ChildRef, len(nd.kids))
@@ -394,6 +396,7 @@ func (tr *Tree) ChildAt(id hindex.NodeID, slot int) hindex.NodeID {
 func (tr *Tree) LeafEntries(id hindex.NodeID) []hindex.LeafEntry {
 	nd := tr.nodes[id]
 	if !nd.leaf {
+		//lint:invariant hindex contract: LeafEntries is only defined on leaves
 		panic(fmt.Sprintf("rtree: LeafEntries on internal node %d", id))
 	}
 	out := make([]hindex.LeafEntry, len(nd.tids))

@@ -19,7 +19,7 @@ func TestQuickMixedOperations(t *testing.T) {
 		ops := 50 + int(opsRaw)%400
 		rng := rand.New(rand.NewSource(seed))
 
-		tb := table.New(table.Schema{
+		tb := table.MustNew(table.Schema{
 			SelNames: []string{"a"}, SelCard: []int{2},
 			RankNames: []string{"x", "y"},
 		})

@@ -1,6 +1,7 @@
 package sigcube
 
 import (
+	"rankcube/internal/errs"
 	"rankcube/internal/hindex"
 	"rankcube/internal/signature"
 	"rankcube/internal/stats"
@@ -120,10 +121,13 @@ func (c *Cube) applyUpdates(updates []pathUpdate, ctr *stats.Counters) {
 
 // maintainable asserts the partition supports incremental updates (the
 // R-tree does; grid hierarchies re-partition periodically instead, §1.3.1).
+// A partition without that capability aborts with a typed
+// ErrStructureUnavailable, which the public API surfaces as an error.
 func (c *Cube) maintainable() hindex.MaintainableTree {
 	mt, ok := c.rt.(hindex.MaintainableTree)
 	if !ok {
-		panic("sigcube: partition tree does not support incremental maintenance; rebuild the cube instead")
+		errs.Abortf(errs.ErrStructureUnavailable,
+			"sigcube: partition tree does not support incremental maintenance; rebuild the cube instead")
 	}
 	return mt
 }

@@ -1,12 +1,15 @@
 package sigcube
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
 	"testing"
 
 	"rankcube/internal/core"
+	"rankcube/internal/errs"
+	"rankcube/internal/gridtree"
 	"rankcube/internal/hindex"
 	"rankcube/internal/ranking"
 	"rankcube/internal/rtree"
@@ -93,7 +96,7 @@ func TestTopKNoCondition(t *testing.T) {
 }
 
 func TestTopKEmptyCell(t *testing.T) {
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{5}, RankNames: []string{"x", "y"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{5}, RankNames: []string{"x", "y"}})
 	for i := 0; i < 100; i++ {
 		tb.Append([]int32{int32(i % 2)}, []float64{float64(i) / 100, 0.5})
 	}
@@ -189,7 +192,7 @@ func TestInsertMaintainsSignatures(t *testing.T) {
 
 func TestInsertTriggersRootSplitSafely(t *testing.T) {
 	// Tiny fanout forces deep trees and root splits during the insert loop.
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{3}, RankNames: []string{"x", "y"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{3}, RankNames: []string{"x", "y"}})
 	cube := Build(tb, Config{RTree: rtree.Config{Fanout: 4}})
 	rng := rand.New(rand.NewSource(68))
 	for i := 0; i < 400; i++ {
@@ -320,4 +323,25 @@ func TestLossyScannerVerifiesTuples(t *testing.T) {
 	if count != want {
 		t.Fatalf("scanner yielded %d tuples, want %d", count, want)
 	}
+}
+
+// TestMaintainOnGridPartitionAborts: grid partitions re-partition instead
+// of maintaining incrementally (§1.3.1), so Insert on a grid-backed cube
+// must fail with a typed ErrStructureUnavailable abort — which governed
+// public callers convert into an error — never an untyped crash.
+func TestMaintainOnGridPartitionAborts(t *testing.T) {
+	tb := table.Generate(table.GenSpec{T: 1000, S: 2, R: 2, Card: 4, Seed: 9})
+	grid := gridtree.Build(tb, []int{0, 1}, ranking.UnitBox(2), gridtree.Config{BlockSize: 100})
+	cube := BuildOnTree(tb, grid, Config{})
+	defer func() {
+		err, ok := errs.IsAbort(recover())
+		if !ok {
+			t.Fatal("Insert on a grid partition did not abort")
+		}
+		if !errors.Is(err, errs.ErrStructureUnavailable) {
+			t.Fatalf("abort err = %v, want ErrStructureUnavailable", err)
+		}
+	}()
+	cube.Insert([]int32{0, 0}, []float64{0.5, 0.5}, stats.New())
+	t.Fatal("unreachable: Insert returned")
 }

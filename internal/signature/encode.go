@@ -1,10 +1,10 @@
 package signature
 
 import (
-	"fmt"
 	"sort"
 
 	"rankcube/internal/bitvec"
+	"rankcube/internal/errs"
 	"rankcube/internal/hindex"
 	"rankcube/internal/pager"
 	"rankcube/internal/stats"
@@ -294,8 +294,10 @@ func (v *View) loadPartial(ref partialRef) {
 		}
 	}
 	if decoded != count {
-		panic(fmt.Sprintf("signature: partial %v decoded %d nodes, header says %d",
-			ref.path, decoded, count))
+		// The node count came from the partial's on-page header: a mismatch
+		// means the stored bytes are corrupt.
+		errs.Abortf(errs.ErrPageCorrupt, "signature: partial %v decoded %d nodes, header says %d",
+			ref.path, decoded, count)
 	}
 }
 
@@ -350,6 +352,7 @@ func (s *Stored) Decode(codec *bitvec.Codec, store *pager.Store, ctr *stats.Coun
 func (s *Stored) EncodedBytes(store *pager.Store) int64 {
 	var total int64
 	for _, ref := range s.refs {
+		//lint:ungoverned size accounting inspects stored bytes without simulating a read
 		total += int64(len(store.ReadRaw(ref.page)))
 	}
 	return total

@@ -171,7 +171,7 @@ func TestDrillDownContradictionRejected(t *testing.T) {
 }
 
 func TestEmptyPredicateCell(t *testing.T) {
-	tb := table.New(table.Schema{SelNames: []string{"a"}, SelCard: []int{5}, RankNames: []string{"x", "y"}})
+	tb := table.MustNew(table.Schema{SelNames: []string{"a"}, SelCard: []int{5}, RankNames: []string{"x", "y"}})
 	for i := 0; i < 200; i++ {
 		tb.Append([]int32{int32(i % 2)}, []float64{float64(i%17) / 17, float64(i%13) / 13})
 	}

@@ -64,7 +64,7 @@ func Generate(spec GenSpec) *Table {
 		SelCard:   cards,
 		RankNames: defaultNames("N", spec.R),
 	}
-	t := New(schema)
+	t := MustNew(schema)
 	rng := rand.New(rand.NewSource(spec.Seed))
 
 	var zipf *rand.Zipf

@@ -8,6 +8,8 @@ package table
 import (
 	"fmt"
 	"math"
+
+	"rankcube/internal/errs"
 )
 
 // TID is a tuple identifier: the position of the tuple in the relation.
@@ -54,15 +56,28 @@ type Table struct {
 	n      int
 }
 
-// New returns an empty relation with the given schema.
-func New(schema Schema) *Table {
+// New returns an empty relation with the given schema, or the schema's
+// validation error.
+func New(schema Schema) (*Table, error) {
 	if err := schema.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	t := &Table{
 		schema: schema,
 		sel:    make([][]int32, schema.S()),
 		rank:   make([][]float64, schema.R()),
+	}
+	return t, nil
+}
+
+// MustNew is New for schemas that are valid by construction (derived from
+// an existing relation, or built by this repository's generators). An
+// invalid schema here is a programming error, reported as a typed abort so
+// governed callers still receive an error rather than a crash.
+func MustNew(schema Schema) *Table {
+	t, err := New(schema)
+	if err != nil {
+		errs.Abortf(errs.ErrInvalidArgument, "table: %v", err)
 	}
 	return t
 }
@@ -76,11 +91,13 @@ func (t *Table) Len() int { return t.n }
 // Append adds one tuple and returns its tid. sel and rank are copied.
 func (t *Table) Append(sel []int32, rank []float64) TID {
 	if len(sel) != t.schema.S() || len(rank) != t.schema.R() {
+		//lint:invariant documented precondition: rows must match the schema arity
 		panic(fmt.Sprintf("table: Append arity mismatch: got %d/%d want %d/%d",
 			len(sel), len(rank), t.schema.S(), t.schema.R()))
 	}
 	for d, v := range sel {
 		if v < 0 || int(v) >= t.schema.SelCard[d] {
+			//lint:invariant documented precondition: values lie in [0, SelCard[d])
 			panic(fmt.Sprintf("table: selection value %d out of range for dimension %d (card %d)",
 				v, d, t.schema.SelCard[d]))
 		}

@@ -87,7 +87,7 @@ func sqrt(v float64) float64 {
 }
 
 func TestAppendAndAccessors(t *testing.T) {
-	tb := New(Schema{
+	tb := MustNew(Schema{
 		SelNames:  []string{"type", "color"},
 		SelCard:   []int{3, 4},
 		RankNames: []string{"price", "mileage"},
@@ -123,7 +123,7 @@ func TestAppendAndAccessors(t *testing.T) {
 }
 
 func TestAppendPanicsOnBadValue(t *testing.T) {
-	tb := New(Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"n"}})
+	tb := MustNew(Schema{SelNames: []string{"a"}, SelCard: []int{2}, RankNames: []string{"n"}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic on out-of-range selection value")

@@ -54,11 +54,13 @@ package rankcube
 
 import (
 	"context"
+	"fmt"
 
 	"rankcube/internal/baselines"
 	"rankcube/internal/btree"
 	"rankcube/internal/core"
 	"rankcube/internal/dataset"
+	"rankcube/internal/errs"
 	"rankcube/internal/gridcube"
 	"rankcube/internal/hindex"
 	"rankcube/internal/joinquery"
@@ -84,10 +86,15 @@ type Schema = table.Schema
 // TID identifies a tuple within its relation.
 type TID = table.TID
 
-// NewRelation creates an empty relation. Selection values on dimension d
-// must lie in [0, selCards[d]).
-func NewRelation(selNames []string, selCards []int, rankNames []string) *Relation {
-	return table.New(Schema{SelNames: selNames, SelCard: selCards, RankNames: rankNames})
+// NewRelation creates an empty relation, or returns the schema's
+// validation error (wrapping ErrInvalidArgument). Selection values on
+// dimension d must lie in [0, selCards[d]).
+func NewRelation(selNames []string, selCards []int, rankNames []string) (*Relation, error) {
+	rel, err := table.New(Schema{SelNames: selNames, SelCard: selCards, RankNames: rankNames})
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", err, errs.ErrInvalidArgument)
+	}
+	return rel, nil
 }
 
 // GenerateRelation builds a seeded synthetic relation: T tuples, S selection
@@ -310,13 +317,21 @@ func (s *SignatureCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, er
 	return s.TopKCtx(context.Background(), cond, f, k, Budget{}, m)
 }
 
-// Insert appends a tuple and incrementally maintains all signatures.
-func (s *SignatureCube) Insert(sel []int32, rank []float64, m *Metrics) TID {
-	return s.c.Insert(sel, rank, ensureMetrics(m))
+// Insert appends a tuple and incrementally maintains all signatures. It
+// fails with ErrStructureUnavailable when the cube's partition does not
+// support incremental maintenance (rebuild instead), and with storage
+// errors when maintenance I/O faults. It is InsertCtx with a background
+// context and no budget.
+func (s *SignatureCube) Insert(sel []int32, rank []float64, m *Metrics) (TID, error) {
+	return s.InsertCtx(context.Background(), sel, rank, Budget{}, m)
 }
 
-// Delete removes a tuple from the partition and signatures.
-func (s *SignatureCube) Delete(tid TID, m *Metrics) bool { return s.c.Delete(tid, ensureMetrics(m)) }
+// Delete removes a tuple from the partition and signatures, with the same
+// error contract as Insert. It is DeleteCtx with a background context and
+// no budget.
+func (s *SignatureCube) Delete(tid TID, m *Metrics) (bool, error) {
+	return s.DeleteCtx(context.Background(), tid, Budget{}, m)
+}
 
 // Scan opens a score-ascending iterator over tuples matching cond — the
 // rank-aware selection operator rank joins pull from.

@@ -118,7 +118,10 @@ func TestRTreeMergePublicAPI(t *testing.T) {
 func TestInsertDeleteThroughPublicAPI(t *testing.T) {
 	rel := buildDemo(t, 2000)
 	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
-	tid := cube.Insert([]int32{1, 1, 1}, []float64{0.001, 0.001}, nil)
+	tid, err := cube.Insert([]int32{1, 1, 1}, []float64{0.001, 0.001}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := cube.TopK(rankcube.Cond{0: 1}, rankcube.Sum(0, 1), 1, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +129,8 @@ func TestInsertDeleteThroughPublicAPI(t *testing.T) {
 	if len(res) != 1 || res[0].TID != tid {
 		t.Fatalf("inserted near-zero tuple not top-1: %v", res)
 	}
-	if !cube.Delete(tid, nil) {
-		t.Fatal("delete failed")
+	if ok, err := cube.Delete(tid, nil); err != nil || !ok {
+		t.Fatalf("delete failed: ok=%v err=%v", ok, err)
 	}
 	res, err = cube.TopK(rankcube.Cond{0: 1}, rankcube.Sum(0, 1), 1, nil)
 	if err != nil {

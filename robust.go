@@ -56,6 +56,9 @@ var (
 	ErrStructureUnavailable = errs.ErrStructureUnavailable
 	// ErrInternal: an engine panic was contained at the API boundary.
 	ErrInternal = errs.ErrInternal
+	// ErrInvalidArgument: the request itself was malformed (bad schema,
+	// missing snapshot, unsupported operation). Never degrades.
+	ErrInvalidArgument = errs.ErrInvalidArgument
 )
 
 // Budget bounds one query's resource consumption and configures its
@@ -238,7 +241,7 @@ func (s *SkylineEngine) SkylineCtx(ctx context.Context, cond Cond, dims []int, t
 // query by sequential scan).
 func (s *SkylineEngine) DrillDownCtx(ctx context.Context, prev *SkylineSnapshot, extra Cond, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
 	if prev == nil {
-		return nil, nil, fmt.Errorf("rankcube: drill-down requires a previous snapshot")
+		return nil, nil, fmt.Errorf("rankcube: drill-down requires a previous snapshot: %w", errs.ErrInvalidArgument)
 	}
 	m = ensureMetrics(m)
 	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
@@ -262,7 +265,7 @@ func (s *SkylineEngine) DrillDownCtx(ctx context.Context, prev *SkylineSnapshot,
 // policy as SkylineCtx.
 func (s *SkylineEngine) RollUpCtx(ctx context.Context, prev *SkylineSnapshot, removeDims []int, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
 	if prev == nil {
-		return nil, nil, fmt.Errorf("rankcube: roll-up requires a previous snapshot")
+		return nil, nil, fmt.Errorf("rankcube: roll-up requires a previous snapshot: %w", errs.ErrInvalidArgument)
 	}
 	m = ensureMetrics(m)
 	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
@@ -276,6 +279,27 @@ func (s *SkylineEngine) RollUpCtx(ctx context.Context, prev *SkylineSnapshot, re
 		})
 	}
 	return out.res, out.snap, err
+}
+
+// InsertCtx appends a tuple and incrementally maintains all signatures
+// under ctx and budget b. Maintenance never degrades — there is no baseline
+// that could maintain the cube — so faults surface as typed errors:
+// ErrStructureUnavailable when the partition does not support incremental
+// maintenance, storage errors when maintenance I/O faults.
+func (s *SignatureCube) InsertCtx(ctx context.Context, sel []int32, rank []float64, b Budget, m *Metrics) (TID, error) {
+	m = ensureMetrics(m)
+	return runGoverned(ctx, b.limits(), m, func() (TID, error) {
+		return s.c.Insert(sel, rank, m), nil
+	})
+}
+
+// DeleteCtx removes a tuple from the partition and signatures under ctx
+// and budget b, with the same no-degradation error contract as InsertCtx.
+func (s *SignatureCube) DeleteCtx(ctx context.Context, tid TID, b Budget, m *Metrics) (bool, error) {
+	m = ensureMetrics(m)
+	return runGoverned(ctx, b.limits(), m, func() (bool, error) {
+		return s.c.Delete(tid, m), nil
+	})
 }
 
 // GovernedScanner is a panic-contained, budget-governed score-ascending

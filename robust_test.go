@@ -308,6 +308,45 @@ func TestPanicContainedAsErrInternal(t *testing.T) {
 	}
 }
 
+// panicInjector fails not with an error but with a raw panic, modelling a
+// bug inside the storage layer itself rather than a scripted fault.
+type panicInjector struct{}
+
+func (panicInjector) ReadAttempt(pager.PageID, int) error {
+	panic("injected storage-layer bug")
+}
+
+func (panicInjector) MutatePayload(_ pager.PageID, data []byte) []byte { return data }
+
+// TestStoragePanicRecoveredAsError pins the deepest recovery path: a panic
+// raised from inside a page read — several layers below the public API —
+// must come back as an ErrInternal error, and with degradation enabled the
+// fallback scan (which reads the relation, not the store) must still
+// produce the exact answer.
+func TestStoragePanicRecoveredAsError(t *testing.T) {
+	rel := buildDemo(t, 3000)
+	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
+	for _, st := range cube.Stores() {
+		st.SetFaultInjector(panicInjector{})
+	}
+	cond := rankcube.Cond{0: 1}
+	f := rankcube.Sum(0, 1)
+	_, err := cube.TopKCtx(context.Background(), cond, f, 5,
+		rankcube.Budget{DisableFallback: true}, nil)
+	if !errors.Is(err, rankcube.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	m := rankcube.NewMetrics()
+	got, err := cube.TopKCtx(context.Background(), cond, f, 5, rankcube.Budget{}, m)
+	if err != nil {
+		t.Fatalf("degraded query failed: %v", err)
+	}
+	checkScores(t, got, apiBrute(rel, cond, f, 5))
+	if m.Downgrades != 1 {
+		t.Fatalf("downgrades = %d, want 1", m.Downgrades)
+	}
+}
+
 func TestMergeFaultDegradesToTableScan(t *testing.T) {
 	rel := buildDemo(t, 4000)
 	indices := []rankcube.Index{
