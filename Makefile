@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check bench clean
+.PHONY: all build vet lint test race check bench bench-json clean
 
 all: check
 
@@ -29,6 +29,15 @@ check: build vet lint race
 # Quick smoke of the benchmark harness (full runs via cmd/rankbench).
 bench:
 	$(GO) run ./cmd/rankbench -exp fig3.4 -scale 0.02 -queries 3
+
+# Perf-trajectory snapshot: run the canonical root benchmarks and record
+# them as BENCH_<short-hash>.json so future PRs can diff against this
+# commit. Override the set with BENCH_PATTERN='Fig5_|PublicAPI' etc.
+BENCH_PATTERN ?= Fig4_12|PublicAPI
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -commit "$$(git rev-parse --short HEAD)" \
+			-out "BENCH_$$(git rev-parse --short HEAD).json"
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON snapshot, so successive commits leave a comparable
+// perf trajectory in the repository ("make bench-json" writes
+// BENCH_<short-hash>.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fig4_12|PublicAPI' -benchmem . | benchjson -commit abc1234 -out BENCH_abc1234.json
+//
+// Lines it understands: the goos/goarch/pkg/cpu header emitted by the test
+// binary, and benchmark result lines of the shape
+//
+//	BenchmarkName-8   1298   878412 ns/op   1234 B/op   56 allocs/op
+//
+// Everything else (PASS, ok, logging) is ignored. With no -out the JSON
+// goes to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark function name without the Benchmark prefix or
+	// the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// FullName is the raw first field, e.g. "BenchmarkFig4_12_Signature_K10-8".
+	FullName string `json:"full_name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the primary time metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds the remaining value/unit pairs (B/op, allocs/op, MB/s,
+	// custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file schema.
+type Snapshot struct {
+	Commit     string      `json:"commit,omitempty"`
+	Generated  string      `json:"generated"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		commit = flag.String("commit", "", "commit hash recorded in the snapshot")
+		out    = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	snap := Snapshot{
+		Commit:    *commit,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			snap.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+// parseBench decodes one result line: name, iterations, then value/unit
+// pairs. Returns ok=false for lines that merely start with "Benchmark"
+// (e.g. a benchmark's own log output).
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		FullName:   fields[0],
+		Name:       trimName(fields[0]),
+		Iterations: iters,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true
+}
+
+// trimName strips the Benchmark prefix and the trailing -GOMAXPROCS.
+func trimName(full string) string {
+	name := strings.TrimPrefix(full, "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}

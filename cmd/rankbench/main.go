@@ -9,6 +9,11 @@
 //	rankbench -all                  # run everything
 //	rankbench -all -scale 0.05      # smaller datasets (default 0.1× thesis)
 //	rankbench -all -queries 20      # queries averaged per point (default 10)
+//	rankbench -all -http :8080      # live observability while running
+//
+// With -http, the process serves /metrics (the rankcube registry as plain
+// text), /debug/vars (expvar JSON, registry included), and /debug/pprof/*
+// for CPU and heap profiling while experiments run.
 //
 // Output is one aligned table per experiment, with the same series the
 // thesis plots. Absolute numbers depend on hardware and scale; the shapes
@@ -17,14 +22,18 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"rankcube"
 	"rankcube/internal/bench"
 )
 
@@ -36,8 +45,27 @@ func main() {
 		scale   = flag.Float64("scale", 0.1, "dataset scale relative to the thesis row counts")
 		queries = flag.Int("queries", 10, "random queries averaged per data point")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		httpAdr = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	if *httpAdr != "" {
+		rankcube.PublishExpvar()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", rankcube.MetricsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*httpAdr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "rankbench: http server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "rankbench: observability on http://%s/metrics (+ /debug/vars, /debug/pprof)\n", *httpAdr)
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {

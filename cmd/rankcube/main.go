@@ -11,7 +11,13 @@
 //
 //	top K [dim=val ...] by SPEC     # SPEC: w1*N1+w2*N2…  or  dist:t1,t2,…
 //	sky [dim=val ...] on d1,d2
+//	trace <top …|sky …>             # run a query and print its span tree
+//	slow                            # dump the slow-query log
+//	stats                           # dump the process metrics registry
 //	help | quit
+//
+// With -slowlog <dur>, queries at or above the threshold are kept in a ring
+// buffer with their execution span trees; "slow" prints them.
 //
 // Example:
 //
@@ -42,11 +48,15 @@ func main() {
 		csvIn  = flag.String("csv", "", "load a relation from this CSV file (header row required)")
 		selN   = flag.Int("sel", 2, "number of leading CSV columns treated as selection dimensions")
 		seed   = flag.Int64("seed", 1, "generator seed")
-		selDim = flag.Int("seldims", 3, "selection dimensions for -gen")
-		rnkDim = flag.Int("rankdims", 2, "ranking dimensions for -gen")
-		card   = flag.Int("card", 10, "selection cardinality for -gen")
+		selDim  = flag.Int("seldims", 3, "selection dimensions for -gen")
+		rnkDim  = flag.Int("rankdims", 2, "ranking dimensions for -gen")
+		card    = flag.Int("card", 10, "selection cardinality for -gen")
+		slowlog = flag.Duration("slowlog", 0, "record queries at or above this duration in the slow-query log (0 = off)")
 	)
 	flag.Parse()
+	if *slowlog > 0 {
+		rankcube.SetSlowQueryThreshold(*slowlog)
+	}
 
 	var rel *rankcube.Relation
 	var err error
@@ -83,6 +93,13 @@ func main() {
 			fmt.Println("  top K [dim=val ...] by w1*N1+w2*N2  — weighted top-k")
 			fmt.Println("  top K [dim=val ...] by dist:t1,t2   — nearest to target")
 			fmt.Println("  sky [dim=val ...] on d1,d2          — skyline over dims")
+			fmt.Println("  trace <query>                       — run a query, print its span tree")
+			fmt.Println("  slow                                — dump the slow-query log")
+			fmt.Println("  stats                               — dump the metrics registry")
+		case line == "slow":
+			rankcube.WriteSlowQueryLog(os.Stdout)
+		case line == "stats":
+			rankcube.DefaultRegistry().WriteText(os.Stdout)
 		default:
 			// A per-query signal context: Ctrl-C cancels the running query
 			// (the governor aborts it within a bounded number of block
@@ -102,6 +119,21 @@ func execute(ctx context.Context, line string, rel *rankcube.Relation, cube *ran
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return nil
+	}
+	var tr *rankcube.Trace
+	if fields[0] == "trace" {
+		if len(fields) == 1 {
+			return fmt.Errorf(`usage: trace <top …|sky …>`)
+		}
+		tr = rankcube.NewTrace()
+		defer func() {
+			fmt.Print(indent(tr.Render()))
+		}()
+		fields = fields[1:]
+	}
+	opts := []rankcube.Option{rankcube.WithTrace(tr)}
+	if tr == nil {
+		opts = nil
 	}
 	switch fields[0] {
 	case "top":
@@ -125,7 +157,7 @@ func execute(ctx context.Context, line string, rel *rankcube.Relation, cube *ran
 			return err
 		}
 		m := rankcube.NewMetrics()
-		res, err := cube.TopKCtx(ctx, cond, f, k, rankcube.Budget{}, m)
+		res, err := cube.Query(ctx, cond, f, k, append(opts, rankcube.WithMetrics(m))...)
 		if err != nil {
 			return err
 		}
@@ -152,7 +184,7 @@ func execute(ctx context.Context, line string, rel *rankcube.Relation, cube *ran
 			dims = append(dims, d)
 		}
 		m := rankcube.NewMetrics()
-		sky, _, err := eng.SkylineCtx(ctx, cond, dims, nil, rankcube.Budget{}, m)
+		sky, _, err := eng.Query(ctx, cond, dims, nil, append(opts, rankcube.WithMetrics(m))...)
 		if err != nil {
 			return err
 		}
@@ -168,6 +200,17 @@ func execute(ctx context.Context, line string, rel *rankcube.Relation, cube *ran
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
 	}
+}
+
+// indent prefixes every line of a rendered span tree for REPL output.
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("  ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 func indexOf(fields []string, word string) int {

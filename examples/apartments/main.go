@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -60,7 +61,8 @@ func main() {
 	cond := rankcube.Cond{0: 1, 6: 1, 9: 1}
 	f := rankcube.Linear([]int{0, 2}, []float64{0.7, 0.3}) // rent + shopping distance
 	metrics := rankcube.NewMetrics()
-	res, err := frag.TopK(cond, f, 5, metrics)
+	ctx := context.Background()
+	res, err := frag.Query(ctx, cond, f, 5, rankcube.WithMetrics(metrics))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,8 +85,8 @@ func main() {
 	}
 	target := rankcube.SqDist([]int{0, 1, 4, 5}, []float64{0.2, 0.1, 0.0, 0.05})
 	metrics = rankcube.NewMetrics()
-	res, err = rankcube.MergeTopK(rel, indices, target, 5,
-		rankcube.MergeOptions{JoinSignature: true}, metrics)
+	res, err = rankcube.MergeQuery(ctx, rel, indices, target, 5,
+		rankcube.MergeOptions{JoinSignature: true}, rankcube.WithMetrics(metrics))
 	if err != nil {
 		log.Fatal(err)
 	}

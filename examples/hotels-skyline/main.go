@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -42,11 +43,13 @@ func main() {
 
 	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
 	eng := rankcube.NewSkylineEngine(cube)
+	ctx := context.Background()
 
 	// Skyline of hotels with breakfast: minimize price and beach distance
 	// simultaneously.
 	metrics := rankcube.NewMetrics()
-	sky, snap, err := eng.Skyline(rankcube.Cond{2: 1}, []int{0, 1}, nil, metrics)
+	sky, snap, err := eng.Query(ctx, rankcube.Cond{2: 1}, []int{0, 1}, nil,
+		rankcube.WithMetrics(metrics))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +59,8 @@ func main() {
 	// Drill down: additionally require wifi — answered from the previous
 	// query's candidate basis, not from scratch.
 	metrics = rankcube.NewMetrics()
-	sky2, snap2, err := eng.DrillDown(snap, rankcube.Cond{3: 1}, metrics)
+	sky2, snap2, err := eng.DrillDownQuery(ctx, snap, rankcube.Cond{3: 1},
+		rankcube.WithMetrics(metrics))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +69,7 @@ func main() {
 
 	// Roll up: drop the wifi requirement again, seeded by the previous
 	// skyline.
-	sky3, _, err := eng.RollUp(snap2, []int{3}, rankcube.NewMetrics())
+	sky3, _, err := eng.RollUpQuery(ctx, snap2, []int{3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,8 +77,8 @@ func main() {
 
 	// Dynamic skyline: closest to a $120/night, 500 m-from-beach ideal
 	// (preference space |price−0.3|, |dist−0.1|).
-	dyn, _, err := eng.Skyline(rankcube.Cond{2: 1}, []int{0, 1},
-		[]float64{0.3, 0.1}, rankcube.NewMetrics())
+	dyn, _, err := eng.Query(ctx, rankcube.Cond{2: 1}, []int{0, 1},
+		[]float64{0.3, 0.1})
 	if err != nil {
 		log.Fatal(err)
 	}

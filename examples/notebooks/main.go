@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -52,8 +53,10 @@ func main() {
 	// notebooks rank first.
 	potential := rankcube.Linear([]int{0, 1, 2}, []float64{-0.5, -0.3, -0.2})
 
+	ctx := context.Background()
+
 	// Step 1: top-5 dell low-end notebooks.
-	res, err := cube.TopK(rankcube.Cond{0: 0, 1: 0}, potential, 5, rankcube.NewMetrics())
+	res, err := cube.Query(ctx, rankcube.Cond{0: 0, 1: 0}, potential, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +64,7 @@ func main() {
 	show(rel, res)
 
 	// Step 2: roll up on brand — the same segment across all makers.
-	res, err = cube.TopK(rankcube.Cond{1: 0}, potential, 5, rankcube.NewMetrics())
+	res, err = cube.Query(ctx, rankcube.Cond{1: 0}, potential, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,13 +35,14 @@ func main() {
 
 	// Materialize the signature ranking cube (chapter 4 engine).
 	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
+	ctx := context.Background()
 
 	// Q1: top-10 red sedans by price + mileage (ascending).
 	metrics := rankcube.NewMetrics()
-	res, err := cube.TopK(
+	res, err := cube.Query(ctx,
 		rankcube.Cond{0: 0 /* sedan */, 1: 0 /* red */},
 		rankcube.Sum(0, 1),
-		10, metrics,
+		10, rankcube.WithMetrics(metrics),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -50,22 +52,25 @@ func main() {
 	fmt.Printf("   [%s]\n\n", metrics)
 
 	// Q2: top-5 convertibles closest to ($20k, 10k miles) — a quadratic
-	// target-distance function.
-	res, err = cube.TopK(
+	// target-distance function — traced: the span tree shows where the
+	// blocks and the time went.
+	tr := rankcube.NewTrace()
+	res, err = cube.Query(ctx,
 		rankcube.Cond{0: 1 /* convertible */},
 		rankcube.SqDist([]int{0, 1}, []float64{2.0, 0.1}),
-		5, rankcube.NewMetrics(),
+		5, rankcube.WithTrace(tr),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Q2: top-5 convertibles near $20k / 10k miles")
 	printResults(rel, res)
+	fmt.Print(tr.Render())
 
 	// Q3: an ad hoc, non-convex function via the expression API:
 	// (price − mileage²)² — answered through the same cube.
 	f := rankcube.General(rankcube.Sqr(rankcube.Sub(rankcube.Var(0), rankcube.Sqr(rankcube.Var(1)))))
-	res, err = cube.TopK(rankcube.Cond{1: 2 /* black */}, f, 5, rankcube.NewMetrics())
+	res, err = cube.Query(ctx, rankcube.Cond{1: 2 /* black */}, f, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -63,10 +64,10 @@ func main() {
 	// 4★+ hotels with breakfast, minimizing flight price + duration plus
 	// hotel rate + distance to center.
 	metrics := rankcube.NewMetrics()
-	res, err := rankcube.Join([]rankcube.JoinPart{
+	res, err := rankcube.JoinQuery(context.Background(), []rankcube.JoinPart{
 		{Rel: rf, Cond: rankcube.Cond{1: 0 /* nonstop */}, F: rankcube.Sum(0, 1)},
 		{Rel: rh, Cond: rankcube.Cond{0: 3 /* 4-star */, 1: 1 /* breakfast */}, F: rankcube.Sum(0, 1)},
-	}, 10, metrics)
+	}, 10, rankcube.WithMetrics(metrics))
 	if err != nil {
 		log.Fatal(err)
 	}

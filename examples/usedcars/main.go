@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -47,9 +48,10 @@ func main() {
 	cube := rankcube.BuildGridCube(rel, rankcube.GridOptions{BlockSize: 300})
 	fmt.Printf("grid cube: %.1f MB materialized\n\n", float64(cube.SizeBytes())/(1<<20))
 
+	ctx := context.Background()
 	show := func(label string, cond rankcube.Cond, f rankcube.Func, k int) {
 		m := rankcube.NewMetrics()
-		res, err := cube.TopK(cond, f, k, m)
+		res, err := cube.Query(ctx, cond, f, k, rankcube.WithMetrics(m))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,11 +9,13 @@
 //     legitimate only for size accounting and maintenance bookkeeping; and
 //   - passing a nil *stats.Counters into a governed accessor, which charges
 //     the read to nobody (Counters methods are nil-safe by design for
-//     uninstrumented build paths).
+//     uninstrumented build paths). This covers both the pager accessors and
+//     hindex.NewAccessor, whose Accessor routes every subsequent node visit
+//     through the counters it was constructed with.
 //
-// Outside internal/pager itself, both require a `//lint:ungoverned
-// <reason>` marker on or directly above the call, so every ungoverned
-// access is individually justified and reviewable.
+// Outside internal/pager and internal/hindex themselves, these require a
+// `//lint:ungoverned <reason>` marker on or directly above the call, so
+// every ungoverned access is individually justified and reviewable.
 package governedio
 
 import (
@@ -23,7 +25,10 @@ import (
 	"rankcube/internal/analysis/framework"
 )
 
-const pagerPath = "rankcube/internal/pager"
+const (
+	pagerPath  = "rankcube/internal/pager"
+	hindexPath = "rankcube/internal/hindex"
+)
 
 // Marker is the justification marker accepted on ungoverned accesses.
 const Marker = "ungoverned"
@@ -31,8 +36,9 @@ const Marker = "ungoverned"
 // Analyzer flags pager accesses that bypass governor accounting.
 var Analyzer = &framework.Analyzer{
 	Name: "governedio",
-	Doc: "flags Store.ReadRaw calls and nil-Counters reads outside internal/pager: " +
-		"block accesses must be charged through the governed accessors unless marked " +
+	Doc: "flags Store.ReadRaw calls, nil-Counters reads, and nil-Counters " +
+		"hindex accessors outside internal/pager and internal/hindex: block " +
+		"accesses must be charged through the governed accessors unless marked " +
 		"//lint:ungoverned",
 	Run: run,
 }
@@ -44,13 +50,20 @@ var governed = map[string]map[string]bool{
 }
 
 func run(pass *framework.Pass) error {
-	if pass.Pkg.Path() == pagerPath {
+	if pass.Pkg.Path() == pagerPath || pass.Pkg.Path() == hindexPath {
 		return nil
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if isHindexNewAccessor(pass, call) {
+				if len(call.Args) == 2 && isNil(pass, call.Args[1]) && !pass.Marked(call, Marker) {
+					pass.Reportf(call.Pos(),
+						"hindex.NewAccessor with nil Counters charges every node visit to nobody: pass the query's metrics, or mark //lint:ungoverned <reason>")
+				}
 				return true
 			}
 			recv, method := pagerMethod(pass, call)
@@ -92,6 +105,24 @@ func pagerMethod(pass *framework.Pass, call *ast.CallExpr) (recv, method string)
 		}
 	}
 	return "", ""
+}
+
+// isHindexNewAccessor reports whether call invokes the package function
+// rankcube/internal/hindex.NewAccessor (resolved through the type
+// checker's uses, so aliasing the import does not hide the call).
+func isHindexNewAccessor(pass *framework.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Name() == "NewAccessor" &&
+		fn.Pkg() != nil && fn.Pkg().Path() == hindexPath
 }
 
 // isNil reports whether expr is the predeclared nil.

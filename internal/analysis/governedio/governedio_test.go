@@ -10,6 +10,7 @@ import (
 func TestGovernedIO(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), governedio.Analyzer,
 		"rankcube/internal/engine",
+		"rankcube/internal/hindex",
 		"rankcube/internal/pager",
 	)
 }

@@ -3,6 +3,7 @@
 package engine
 
 import (
+	"rankcube/internal/hindex"
 	"rankcube/internal/pager"
 	"rankcube/internal/stats"
 )
@@ -38,4 +39,21 @@ func BufferedUncharged(b *pager.Buffer) {
 func Rebuild(s *pager.Store) {
 	//lint:ungoverned rebuild path, charged in bulk by the builder
 	s.Touch(0, nil)
+}
+
+// Traverse builds a governed hindex accessor with real counters: clean.
+func Traverse(idx hindex.Index, c *stats.Counters) *hindex.Accessor {
+	return hindex.NewAccessor(idx, c)
+}
+
+// TraverseUncharged builds an accessor whose whole traversal is uncharged.
+func TraverseUncharged(idx hindex.Index) *hindex.Accessor {
+	return hindex.NewAccessor(idx, nil) // want `hindex.NewAccessor with nil Counters charges every node visit to nobody`
+}
+
+// Inspect is the blessed nil-counters shape: structural bookkeeping under
+// an explicit marker.
+func Inspect(idx hindex.Index) *hindex.Accessor {
+	//lint:ungoverned structure inspection, not a query path
+	return hindex.NewAccessor(idx, nil)
 }

@@ -83,6 +83,7 @@ func NewTableScan(h *HeapFile) *TableScan { return &TableScan{heap: h} }
 
 // TopK scans the relation.
 func (ts *TableScan) TopK(cond core.Cond, f ranking.Func, k int, ctr *stats.Counters) []core.Result {
+	defer ctr.StartSpan("scan")()
 	ts.heap.ScanAll(ctr)
 	t := ts.heap.t
 	topk := heap.NewBounded[core.Result](k, core.WorseResult)

@@ -22,6 +22,7 @@ import (
 
 	"rankcube/internal/errs"
 	"rankcube/internal/governor"
+	"rankcube/internal/obs"
 	"rankcube/internal/stats"
 )
 
@@ -194,8 +195,17 @@ func run(cfg Config, queries int, exec func(qi int, ctr *stats.Counters)) measur
 		}
 		ctr := stats.New()
 		ctr.SetGovernor(governor.New(ctx, governor.Limits{}))
+		qStart := time.Now()
 		canceled := runOne(exec, qi, ctr)
 		ctr.SetGovernor(nil)
+		outcome := obs.OutcomeOK
+		if canceled {
+			outcome = obs.OutcomeCanceled
+		}
+		// Feed the live registry so rankbench's -http endpoint shows
+		// harness traffic, not just public-API queries.
+		obs.Default().RecordQuery("bench", outcome, time.Since(qStart),
+			ctr.ReadsSnapshot(), ctr.Retries, ctr.Downgrades)
 		agg.Merge(ctr)
 		done++
 		if canceled {

@@ -19,6 +19,7 @@ func (c *Cube) ScanTopK(q Query, ctr *stats.Counters) []Result {
 	if q.K <= 0 {
 		return nil
 	}
+	defer ctr.StartSpan("scan")()
 	rowBytes := c.t.RowBytes()
 	pageSize := c.cfg.pageSize()
 	if pageSize <= 0 {

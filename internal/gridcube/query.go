@@ -132,6 +132,7 @@ func (c *Cube) TopK(q Query, ctr *stats.Counters) ([]Result, error) {
 	if q.K <= 0 {
 		return nil, nil
 	}
+	endPlan := ctr.StartSpan("plan")
 	condDims := make([]int, 0, len(q.Cond))
 	for d := range q.Cond {
 		condDims = append(condDims, d)
@@ -139,6 +140,7 @@ func (c *Cube) TopK(q Query, ctr *stats.Counters) ([]Result, error) {
 	sort.Ints(condDims)
 	cover, err := c.CoveringCuboids(condDims)
 	if err != nil {
+		endPlan()
 		return nil, err
 	}
 	// Per-cuboid selection value vectors, aligned with each cuboid's dims.
@@ -165,7 +167,9 @@ func (c *Cube) TopK(q Query, ctr *stats.Counters) ([]Result, error) {
 	for i, cb := range cover {
 		exec.cubeBufs[i] = pager.NewBuffer(cb.store)
 	}
+	endPlan()
 
+	defer ctr.StartSpan("search")()
 	if ranking.IsConvexFunc(q.F) {
 		if min, ok := q.F.(ranking.Minimizer); ok {
 			exec.neighborhoodSearch(min)

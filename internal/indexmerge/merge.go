@@ -93,6 +93,7 @@ func TopK(indices []hindex.Index, f ranking.Func, k int, opts Options, ctr *stat
 		}
 		m.acc[i] = hindex.NewAccessor(idx, ctr)
 	}
+	defer ctr.StartSpan("merge")()
 	m.run()
 	return m.topk.Sorted(), nil
 }

@@ -120,9 +120,13 @@ func Execute(q Query, opts Options, ctr *stats.Counters) ([]Result, error) {
 		return nil, nil
 	}
 	exec := &executor{q: q, opts: opts, ctr: ctr}
-	if err := exec.open(); err != nil {
+	endPlan := ctr.StartSpan("plan")
+	err := exec.open()
+	endPlan()
+	if err != nil {
 		return nil, err
 	}
+	defer ctr.StartSpan("rank-join")()
 	return exec.run()
 }
 

@@ -1,0 +1,47 @@
+package obs
+
+import "context"
+
+// traceKey carries the query's *Trace through a context.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying tr, the ctx-first handle
+// for span instrumentation at API boundaries. Engine internals, which
+// thread stats.Counters rather than contexts, reach the same trace
+// through Counters.StartSpan and the attached observer.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// StartSpan opens a named span on the trace carried by ctx and returns
+// its closer. Without a trace in ctx it is a no-op — instrumented code
+// does not need to know whether tracing is enabled:
+//
+//	defer obs.StartSpan(ctx, "rewrite")()
+func StartSpan(ctx context.Context, name string) func() {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return func() {}
+	}
+	sp := tr.StartSpan(name)
+	return func() {
+		// Close this span specifically: unwind any deeper spans whose
+		// closers were skipped by an abort, then end sp itself.
+		for tr.cur != nil && tr.cur != sp {
+			tr.endCur(-1)
+		}
+		tr.endCur(-1)
+	}
+}

@@ -1,0 +1,249 @@
+// Package obs is the query observability layer: per-query execution
+// traces (span trees), a process-wide metrics registry, and a slow-query
+// log.
+//
+// The ranking-cube methodology's central claim is I/O economy — block
+// accesses saved by progressive cuboid-guided search — so the unit of
+// observability here is the governed block read. A Trace attaches to a
+// query's stats.Counters as its Observer and attributes every read,
+// retry, heap observation, and downgrade to the innermost open span; the
+// per-span read totals therefore sum exactly to the counters' total. The
+// Registry aggregates across queries with atomic counters, gauges, and
+// bounded log2-bucket latency histograms, published via expvar and a
+// plain-text HTTP endpoint. The SlowLog keeps the rendered span trees of
+// queries that exceeded a threshold in a bounded ring.
+//
+// Everything here is pull-based and allocation-light: with no trace
+// attached a query pays only the registry's handful of atomic adds.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rankcube/internal/stats"
+)
+
+// Span is one node of a query's execution trace: a named phase with wall
+// time and the execution events attributed while it was the innermost
+// open span. Reads are attributed exclusively (a parent does not repeat
+// its children's reads), so summing Reads over the whole tree yields the
+// query's total block reads.
+type Span struct {
+	// Name labels the phase ("search", "tester", "fallback", …).
+	Name string
+	// Dur is the span's wall-clock time, including children.
+	Dur time.Duration
+	// Reads counts governed block reads per storage structure attributed
+	// to this span (exclusive of children).
+	Reads map[stats.Structure]int64
+	// Retries counts transient-fault retries ridden out in this span.
+	Retries int64
+	// Downgrades counts baseline-fallback downgrades recorded here.
+	Downgrades int64
+	// HeapHW is the span's candidate-heap high-water mark.
+	HeapHW int
+	// Children are sub-spans in start order.
+	Children []*Span
+
+	parent *Span
+	start  time.Time
+	open   bool
+}
+
+// TotalReads sums block reads over the span and all descendants.
+func (s *Span) TotalReads() int64 {
+	var t int64
+	for _, v := range s.Reads {
+		t += v
+	}
+	for _, c := range s.Children {
+		t += c.TotalReads()
+	}
+	return t
+}
+
+// Trace is a per-query execution trace. It implements stats.Observer, so
+// attaching it to the query's counters (Counters.SetObserver) routes
+// every governed event into the span tree. A Trace is single-goroutine,
+// matching the stats.Counters contract: one query, one goroutine, one
+// trace.
+type Trace struct {
+	// Clock supplies span timestamps; tests may pin it. Nil means
+	// time.Now.
+	Clock func() time.Time
+
+	root *Span
+	cur  *Span
+}
+
+// NewTrace returns an empty trace. The first span started becomes the
+// root.
+func NewTrace() *Trace { return &Trace{} }
+
+// Root returns the root span, or nil when nothing was recorded.
+func (t *Trace) Root() *Span { return t.root }
+
+func (t *Trace) now() time.Time {
+	if t.Clock != nil {
+		return t.Clock()
+	}
+	return time.Now()
+}
+
+// StartSpan opens a child of the current span (or the root when none is
+// open yet) and makes it current.
+func (t *Trace) StartSpan(name string) *Span {
+	sp := &Span{Name: name, parent: t.cur, start: t.now(), open: true}
+	switch {
+	case t.root == nil:
+		t.root = sp
+	case t.cur == nil:
+		// A finished trace reused for another top-level phase: treat the
+		// existing root as the parent so the tree stays connected.
+		sp.parent = t.root
+		t.root.Children = append(t.root.Children, sp)
+	default:
+		t.cur.Children = append(t.cur.Children, sp)
+	}
+	t.cur = sp
+	return sp
+}
+
+// EndSpan closes the current span, measuring its duration with the
+// trace's clock. A call with no open span is a no-op (the boundary may
+// already have finished the trace when a deferred closer runs).
+func (t *Trace) EndSpan() { t.endCur(-1) }
+
+func (t *Trace) endCur(d time.Duration) {
+	sp := t.cur
+	if sp == nil {
+		return
+	}
+	if d < 0 {
+		d = t.now().Sub(sp.start)
+	}
+	sp.Dur = d
+	sp.open = false
+	t.cur = sp.parent
+}
+
+// Finish closes any spans left open — an abort unwound past their
+// closers, or the boundary is sealing the trace for rendering.
+func (t *Trace) Finish() {
+	for t.cur != nil {
+		t.endCur(-1)
+	}
+}
+
+// TotalReads sums attributed block reads over the whole tree.
+func (t *Trace) TotalReads() int64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.TotalReads()
+}
+
+// target returns the span execution events attribute to: the innermost
+// open span, or the root when events arrive outside any span.
+func (t *Trace) target() *Span {
+	if t.cur != nil {
+		return t.cur
+	}
+	if t.root == nil {
+		t.root = &Span{Name: "query", start: t.now(), open: true}
+		t.cur = t.root
+	}
+	return t.root
+}
+
+// SpanStart implements stats.Observer.
+func (t *Trace) SpanStart(name string) { t.StartSpan(name) }
+
+// SpanEnd implements stats.Observer: it closes the current span with the
+// externally measured duration d.
+func (t *Trace) SpanEnd(d time.Duration) { t.endCur(d) }
+
+// ObserveRead implements stats.Observer.
+func (t *Trace) ObserveRead(s stats.Structure, n int64) {
+	sp := t.target()
+	if sp.Reads == nil {
+		sp.Reads = make(map[stats.Structure]int64, 4)
+	}
+	sp.Reads[s] += n
+}
+
+// ObserveRetry implements stats.Observer.
+func (t *Trace) ObserveRetry() { t.target().Retries++ }
+
+// ObserveHeapHW implements stats.Observer.
+func (t *Trace) ObserveHeapHW(size int) {
+	if sp := t.target(); size > sp.HeapHW {
+		sp.HeapHW = size
+	}
+}
+
+// ObserveDowngrade implements stats.Observer.
+func (t *Trace) ObserveDowngrade() { t.target().Downgrades++ }
+
+// Render draws the span tree as indented text, one span per line:
+//
+//	sig.topk                 1.8ms reads=121[rtree=80 signature=41] heap=32
+//	├─ tester                400µs reads=41[signature=41]
+//	└─ search                1.2ms reads=80[rtree=80] retries=1
+func (t *Trace) Render() string {
+	if t.root == nil {
+		return "<empty trace>\n"
+	}
+	var b strings.Builder
+	renderSpan(&b, t.root, "", "", "")
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, sp *Span, lead, branch, childLead string) {
+	label := lead + branch + sp.Name
+	fmt.Fprintf(b, "%-28s %8s", label, sp.Dur.Round(time.Microsecond))
+	if total := sumReads(sp.Reads); total > 0 {
+		fmt.Fprintf(b, " reads=%d[%s]", total, readsList(sp.Reads))
+	}
+	if sp.Retries > 0 {
+		fmt.Fprintf(b, " retries=%d", sp.Retries)
+	}
+	if sp.Downgrades > 0 {
+		fmt.Fprintf(b, " downgrades=%d", sp.Downgrades)
+	}
+	if sp.HeapHW > 0 {
+		fmt.Fprintf(b, " heap=%d", sp.HeapHW)
+	}
+	b.WriteByte('\n')
+	for i, c := range sp.Children {
+		if i == len(sp.Children)-1 {
+			renderSpan(b, c, lead+childLead, "└─ ", "   ")
+		} else {
+			renderSpan(b, c, lead+childLead, "├─ ", "│  ")
+		}
+	}
+}
+
+func sumReads(m map[stats.Structure]int64) int64 {
+	var t int64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func readsList(m map[stats.Structure]int64) string {
+	keys := make([]string, 0, len(m))
+	for s := range m {
+		keys = append(keys, string(s))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[stats.Structure(k)])
+	}
+	return strings.Join(parts, " ")
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"rankcube/internal/errs"
+	"rankcube/internal/obs"
 	"rankcube/internal/stats"
 )
 
@@ -155,6 +156,7 @@ func (s *Store) Read(id PageID, c *stats.Counters) []byte {
 	}
 	if data != nil && crc32.Checksum(data, crcTable) != s.sums[id] {
 		s.quarantined.Store(true)
+		obs.Default().RecordQuarantine(s.kind)
 		errs.Abortf(errs.ErrPageCorrupt, "pager: %s page %d checksum mismatch", s.kind, id)
 	}
 	return data

@@ -27,6 +27,7 @@ func (c *Cube) ScanTopK(cond core.Cond, f ranking.Func, k int, ctr *stats.Counte
 	if k <= 0 {
 		return nil
 	}
+	defer ctr.StartSpan("scan")()
 	rowBytes := c.t.RowBytes()
 	pages := (c.t.Len()*rowBytes + c.cfg.pageSize() - 1) / c.cfg.pageSize()
 	ctr.Read(stats.StructTable, int64(pages))

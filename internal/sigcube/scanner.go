@@ -45,6 +45,7 @@ func lessScanEntry(a, b scanEntry) bool {
 // Scan opens a rank-aware selection over the cube. It returns nil when the
 // condition provably matches nothing.
 func (c *Cube) Scan(cond core.Cond, f ranking.Func, ctr *stats.Counters) (*Scanner, error) {
+	defer ctr.StartSpan("tester")()
 	tester, any, err := c.TesterFor(cond, ctr)
 	if err != nil {
 		return nil, err

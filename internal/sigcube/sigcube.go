@@ -254,13 +254,16 @@ func (c *Cube) TesterFor(cond core.Cond, ctr *stats.Counters) (signature.Tester,
 // TopK answers a ranked query with boolean predicates using the
 // branch-and-bound framework of Alg. 3.
 func (c *Cube) TopK(cond core.Cond, f ranking.Func, k int, ctr *stats.Counters) ([]core.Result, error) {
+	endTester := ctr.StartSpan("tester")
 	tester, any, err := c.TesterFor(cond, ctr)
+	endTester()
 	if err != nil {
 		return nil, err
 	}
 	if !any || k <= 0 {
 		return nil, nil
 	}
+	defer ctr.StartSpan("search")()
 	if c.cfg.LossySignatures {
 		return c.verifyingSearch(tester, cond, f, k, ctr), nil
 	}

@@ -224,7 +224,9 @@ func (e *Engine) Skyline(q Query, ctr *stats.Counters) ([]Result, *Snapshot, err
 	if err := e.validate(q); err != nil {
 		return nil, nil, err
 	}
+	endTester := ctr.StartSpan("tester")
 	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
+	endTester()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -246,6 +248,7 @@ func (e *Engine) Skyline(q Query, ctr *stats.Counters) ([]Result, *Snapshot, err
 
 // run is the BBS loop shared by fresh queries and heap re-construction.
 func (e *Engine) run(q Query, tester signature.Tester, h *heap.Heap[entry], sky []Result, snap *Snapshot, ctr *stats.Counters) []Result {
+	defer ctr.StartSpan("search")()
 	rt := e.cube.Tree()
 	acc := hindex.NewAccessor(rt, ctr)
 	var corner []float64
@@ -329,7 +332,9 @@ func (e *Engine) DrillDown(prev *Snapshot, extra core.Cond, ctr *stats.Counters)
 	if prev.degraded {
 		return e.Skyline(q, ctr)
 	}
+	endTester := ctr.StartSpan("tester")
 	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
+	endTester()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -337,6 +342,7 @@ func (e *Engine) DrillDown(prev *Snapshot, extra core.Cond, ctr *stats.Counters)
 	if !any {
 		return nil, snap, nil
 	}
+	endReheap := ctr.StartSpan("reheap")
 	// Re-construct the candidate heap (fig. 7.2). Previous skyline members
 	// matching the tightened predicate remain skyline (non-domination over a
 	// subset is preserved), so they seed the result directly; their
@@ -361,6 +367,7 @@ func (e *Engine) DrillDown(prev *Snapshot, extra core.Cond, ctr *stats.Counters)
 		}
 		h.Push(en)
 	}
+	endReheap()
 	sky := e.run(q, tester, h, survivors, snap, ctr)
 	snap.skyline = sky
 	return sky, snap, nil
@@ -376,7 +383,9 @@ func (e *Engine) RollUp(prev *Snapshot, removeDims []int, ctr *stats.Counters) (
 	if prev.degraded {
 		return e.Skyline(q, ctr)
 	}
+	endTester := ctr.StartSpan("tester")
 	tester, any, err := e.cube.TesterFor(q.Cond, ctr)
+	endTester()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -47,11 +47,35 @@ type Governor interface {
 	OnCheckpoint()
 }
 
+// Observer receives the fine-grained execution events the governor's
+// enforcement view does not need: span boundaries and per-event
+// attribution of reads, retries, heap growth, and downgrades. The
+// concrete implementation (internal/obs.Trace) builds a per-query span
+// tree from them. Observers see each event after the counters record it
+// and before the governor runs, so an abort mid-span still leaves the
+// event attributed. Span events follow strict stack discipline: SpanEnd
+// closes the most recently started open span.
+type Observer interface {
+	// SpanStart opens a child span of the current span.
+	SpanStart(name string)
+	// SpanEnd closes the current span, crediting it d of wall time.
+	SpanEnd(d time.Duration)
+	// ObserveRead attributes n block reads against s to the current span.
+	ObserveRead(s Structure, n int64)
+	// ObserveRetry attributes one transient-fault retry.
+	ObserveRetry()
+	// ObserveHeapHW folds a heap occupancy into the span's high-water mark.
+	ObserveHeapHW(size int)
+	// ObserveDowngrade attributes one baseline-fallback downgrade.
+	ObserveDowngrade()
+}
+
 // Counters accumulates metrics during one query or one build.
 type Counters struct {
 	reads  map[Structure]int64
 	phases map[string]time.Duration
 	gov    Governor
+	obs    Observer
 
 	// StatesGenerated counts joint states inserted into any search heap
 	// (thesis fig. 5.11).
@@ -90,6 +114,36 @@ func (c *Counters) SetGovernor(g Governor) {
 	c.gov = g
 }
 
+// DetachGovernor detaches g, but only if g is the governor currently
+// attached — so the owner of a stale attachment (a closed scanner whose
+// Metrics was since reattached elsewhere) cannot strip a successor's
+// governor. It reports whether a detach happened.
+func (c *Counters) DetachGovernor(g Governor) bool {
+	if c == nil || c.gov == nil || c.gov != g {
+		return false
+	}
+	c.gov = nil
+	return true
+}
+
+// SetObserver attaches (or, with nil, detaches) an execution observer.
+func (c *Counters) SetObserver(o Observer) {
+	if c == nil {
+		return
+	}
+	c.obs = o
+}
+
+// DetachObserver detaches o under the same ownership guard as
+// DetachGovernor.
+func (c *Counters) DetachObserver(o Observer) bool {
+	if c == nil || c.obs == nil || c.obs != o {
+		return false
+	}
+	c.obs = nil
+	return true
+}
+
 // Read records n block reads against the given structure. A nil receiver is
 // permitted so that callers can run without instrumentation.
 func (c *Counters) Read(s Structure, n int64) {
@@ -97,6 +151,9 @@ func (c *Counters) Read(s Structure, n int64) {
 		return
 	}
 	c.reads[s] += n
+	if c.obs != nil {
+		c.obs.ObserveRead(s, n)
+	}
 	if c.gov != nil {
 		c.gov.OnRead(s, n)
 	}
@@ -109,6 +166,20 @@ func (c *Counters) AddRetry() {
 		return
 	}
 	c.Retries++
+	if c.obs != nil {
+		c.obs.ObserveRetry()
+	}
+}
+
+// AddDowngrade records one baseline-fallback downgrade.
+func (c *Counters) AddDowngrade() {
+	if c == nil {
+		return
+	}
+	c.Downgrades++
+	if c.obs != nil {
+		c.obs.ObserveDowngrade()
+	}
 }
 
 // Checkpoint gives the attached governor an abort opportunity between
@@ -141,6 +212,19 @@ func (c *Counters) TotalReads() int64 {
 	return t
 }
 
+// ReadsSnapshot copies the per-structure read counts, so a boundary can
+// diff the state before and after a query that reuses a shared collector.
+func (c *Counters) ReadsSnapshot() map[Structure]int64 {
+	if c == nil || len(c.reads) == 0 {
+		return nil
+	}
+	out := make(map[Structure]int64, len(c.reads))
+	for s, v := range c.reads {
+		out[s] = v
+	}
+	return out
+}
+
 // ObserveHeap folds a current combined heap size into the peak tracker.
 func (c *Counters) ObserveHeap(size int) {
 	if c == nil {
@@ -149,18 +233,51 @@ func (c *Counters) ObserveHeap(size int) {
 	if size > c.PeakHeap {
 		c.PeakHeap = size
 	}
+	if c.obs != nil {
+		c.obs.ObserveHeapHW(size)
+	}
 	if c.gov != nil {
 		c.gov.OnHeap(size)
 	}
 }
 
 // AddPhase accumulates wall-clock time attributed to a named phase (e.g.
-// "signature-load" vs "search" for thesis fig. 7.12).
+// "signature-load" vs "search" for thesis fig. 7.12). StartSpan is the
+// structured form: it additionally opens a span in the attached observer's
+// trace, so prefer it for phases with clear enter/exit boundaries.
 func (c *Counters) AddPhase(name string, d time.Duration) {
 	if c == nil {
 		return
 	}
 	c.phases[name] += d
+}
+
+// StartSpan opens a named execution span and returns its closer. The span
+// accumulates into the phase table (so Phase(name) keeps reporting) and,
+// when an observer is attached, into its span tree. Use with defer:
+//
+//	defer ctr.StartSpan("search")()
+//
+// Spans nest by call order; the closer must run in LIFO order (defer
+// guarantees this even when a governed abort unwinds the stack).
+func (c *Counters) StartSpan(name string) func() {
+	if c == nil {
+		return func() {}
+	}
+	if c.obs != nil {
+		c.obs.SpanStart(name)
+	}
+	obs := c.obs
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		c.phases[name] += d
+		// End against the observer that opened the span: a boundary may
+		// detach the trace before a deferred closer runs.
+		if obs != nil {
+			obs.SpanEnd(d)
+		}
+	}
 }
 
 // Phase reports accumulated time for the named phase.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -62,6 +63,90 @@ func TestMerge(t *testing.T) {
 		t.Fatalf("phase = %v", a.Phase("p"))
 	}
 	a.Merge(nil) // no-op
+}
+
+// TestMergeConcurrentWriters exercises the documented concurrency contract
+// under the race detector: one Counters per goroutine (writes need no
+// locking), aggregated afterwards with Merge on a single goroutine.
+func TestMergeConcurrentWriters(t *testing.T) {
+	const workers = 8
+	const perWorker = 1000
+	results := make(chan *Counters, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := New()
+			for i := 0; i < perWorker; i++ {
+				c.Read(StructRTree, 1)
+				c.Read(StructSignature, 2)
+				c.AddPhase("search", time.Microsecond)
+				c.ObserveHeap(w*perWorker + i)
+				c.StatesExamined++
+			}
+			end := c.StartSpan("tail")
+			end()
+			results <- c
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	agg := New()
+	for c := range results {
+		agg.Merge(c)
+	}
+	if got := agg.Reads(StructRTree); got != workers*perWorker {
+		t.Fatalf("rtree reads = %d, want %d", got, workers*perWorker)
+	}
+	if got := agg.Reads(StructSignature); got != 2*workers*perWorker {
+		t.Fatalf("signature reads = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := agg.Phase("search"); got != workers*perWorker*time.Microsecond {
+		t.Fatalf("search phase = %v, want %v", got, workers*perWorker*time.Microsecond)
+	}
+	if agg.StatesExamined != workers*perWorker {
+		t.Fatalf("StatesExamined = %d", agg.StatesExamined)
+	}
+	if agg.PeakHeap != workers*perWorker-1 {
+		t.Fatalf("PeakHeap = %d, want %d", agg.PeakHeap, workers*perWorker-1)
+	}
+	if agg.Phase("tail") <= 0 {
+		t.Fatalf("tail span did not accumulate: %v", agg.Phase("tail"))
+	}
+}
+
+// TestMergeUnderLockConcurrently covers the other legal aggregation shape:
+// goroutines merging their private Counters into one shared aggregate, with
+// the callers providing the mutual exclusion.
+func TestMergeUnderLockConcurrently(t *testing.T) {
+	const workers = 8
+	agg := New()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := New()
+			c.Read(StructCube, 10)
+			c.AddPhase("plan", time.Millisecond)
+			c.Retries++
+			mu.Lock()
+			agg.Merge(c)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got := agg.Reads(StructCube); got != 10*workers {
+		t.Fatalf("cube reads = %d, want %d", got, 10*workers)
+	}
+	if got := agg.Phase("plan"); got != workers*time.Millisecond {
+		t.Fatalf("plan phase = %v", got)
+	}
+	if agg.Retries != workers {
+		t.Fatalf("retries = %d", agg.Retries)
+	}
 }
 
 func TestStringStable(t *testing.T) {

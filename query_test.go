@@ -1,0 +1,209 @@
+package rankcube_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rankcube"
+)
+
+// traceReads sums block reads over a rendered trace's whole span tree.
+func traceReads(tr *rankcube.Trace) int64 {
+	if tr.Root() == nil {
+		return 0
+	}
+	return tr.Root().TotalReads()
+}
+
+// TestSpanTreeReadsReconcile is the observability acceptance invariant:
+// for every canonical query entry point, the per-span block-read totals of
+// the execution trace sum exactly to the query Metrics' TotalReads().
+func TestSpanTreeReadsReconcile(t *testing.T) {
+	ctx := context.Background()
+	rel := buildDemo(t, 4000)
+	grid := rankcube.BuildGridCube(rel, rankcube.GridOptions{})
+	sig := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
+	eng := rankcube.NewSkylineEngine(sig)
+	indices := []rankcube.Index{
+		rankcube.BuildBTree(rel, 0),
+		rankcube.BuildBTree(rel, 1),
+	}
+	rel2 := rankcube.GenerateRelation(1000, 3, 2, 5, rankcube.Uniform, 79)
+	sig2 := rankcube.BuildSignatureCube(rel2, rankcube.SigOptions{})
+	keys1 := make([]int32, rel.Len())
+	keys2 := make([]int32, rel2.Len())
+	for i := range keys1 {
+		keys1[i] = int32(i % 50)
+	}
+	for i := range keys2 {
+		keys2[i] = int32(i % 50)
+	}
+	j1 := rankcube.NewJoinRelation("r1", rel, sig, keys1, 50)
+	j2 := rankcube.NewJoinRelation("r2", rel2, sig2, keys2, 50)
+
+	f := rankcube.Sum(0, 1)
+	cond := rankcube.Cond{0: 1}
+	cases := []struct {
+		kind string
+		run  func(m *rankcube.Metrics, tr *rankcube.Trace) error
+	}{
+		{"grid.topk", func(m *rankcube.Metrics, tr *rankcube.Trace) error {
+			_, err := grid.Query(ctx, cond, f, 10, rankcube.WithMetrics(m), rankcube.WithTrace(tr))
+			return err
+		}},
+		{"sig.topk", func(m *rankcube.Metrics, tr *rankcube.Trace) error {
+			_, err := sig.Query(ctx, cond, f, 10, rankcube.WithMetrics(m), rankcube.WithTrace(tr))
+			return err
+		}},
+		{"merge.topk", func(m *rankcube.Metrics, tr *rankcube.Trace) error {
+			_, err := rankcube.MergeQuery(ctx, rel, indices,
+				rankcube.SqDist([]int{0, 1}, []float64{0.2, 0.8}), 10,
+				rankcube.MergeOptions{}, rankcube.WithMetrics(m), rankcube.WithTrace(tr))
+			return err
+		}},
+		{"join.topk", func(m *rankcube.Metrics, tr *rankcube.Trace) error {
+			_, err := rankcube.JoinQuery(ctx, []rankcube.JoinPart{
+				{Rel: j1, Cond: cond, F: f},
+				{Rel: j2, Cond: rankcube.Cond{}, F: f},
+			}, 5, rankcube.WithMetrics(m), rankcube.WithTrace(tr))
+			return err
+		}},
+		{"skyline", func(m *rankcube.Metrics, tr *rankcube.Trace) error {
+			_, _, err := eng.Query(ctx, cond, []int{0, 1}, nil,
+				rankcube.WithMetrics(m), rankcube.WithTrace(tr))
+			return err
+		}},
+		{"scan.topk", func(m *rankcube.Metrics, tr *rankcube.Trace) error {
+			_, err := rankcube.TableScanQuery(ctx, rel, cond, f, 10,
+				rankcube.WithMetrics(m), rankcube.WithTrace(tr))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			m := rankcube.NewMetrics()
+			tr := rankcube.NewTrace()
+			if err := tc.run(m, tr); err != nil {
+				t.Fatal(err)
+			}
+			root := tr.Root()
+			if root == nil {
+				t.Fatal("query produced no span tree")
+			}
+			if root.Name != tc.kind {
+				t.Fatalf("root span %q, want %q", root.Name, tc.kind)
+			}
+			if m.TotalReads() == 0 {
+				t.Fatal("query charged no block reads — nothing to reconcile")
+			}
+			if got, want := traceReads(tr), m.TotalReads(); got != want {
+				t.Fatalf("span tree attributes %d reads, counters say %d\n%s", got, want, tr.Render())
+			}
+		})
+	}
+}
+
+// TestSpanTreeReconcilesThroughFallback forces a budget trip with
+// FallbackOnBudget, so the trace includes the degraded re-answer, and
+// checks the read attribution still reconciles across both attempts.
+func TestSpanTreeReconcilesThroughFallback(t *testing.T) {
+	ctx := context.Background()
+	rel := buildDemo(t, 4000)
+	sig := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
+	m := rankcube.NewMetrics()
+	tr := rankcube.NewTrace()
+	res, err := sig.Query(ctx, rankcube.Cond{0: 1}, rankcube.Sum(0, 1), 10,
+		rankcube.WithMetrics(m), rankcube.WithTrace(tr),
+		rankcube.WithBudget(rankcube.Budget{MaxBlockReads: 1, FallbackOnBudget: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("degraded query returned nothing")
+	}
+	if m.Downgrades == 0 {
+		t.Fatal("budget trip did not downgrade")
+	}
+	rendered := tr.Render()
+	if !strings.Contains(rendered, "fallback") {
+		t.Fatalf("trace is missing the fallback span:\n%s", rendered)
+	}
+	if got, want := traceReads(tr), m.TotalReads(); got != want {
+		t.Fatalf("span tree attributes %d reads, counters say %d\n%s", got, want, rendered)
+	}
+}
+
+// TestGovernedScannerCloseIdempotent covers the Close bugfix: closing
+// twice must be harmless, and closing one scanner must not detach another
+// scanner's governor from a shared Metrics.
+func TestGovernedScannerCloseIdempotent(t *testing.T) {
+	ctx := context.Background()
+	rel := buildDemo(t, 2000)
+	sig := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
+	m := rankcube.NewMetrics()
+
+	a, err := sig.OpenScan(ctx, rankcube.Cond{0: 1}, rankcube.Sum(0, 1), rankcube.WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sig.OpenScan(ctx, rankcube.Cond{0: 2}, rankcube.Sum(0, 1), rankcube.WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing a (and closing it again) must leave b fully operational.
+	a.Close()
+	a.Close()
+	seen := 0
+	for {
+		_, ok, err := b.Next()
+		if err != nil {
+			t.Fatalf("scanner b after closing a: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if seen++; seen == 25 {
+			break
+		}
+	}
+	if seen == 0 {
+		t.Fatal("scanner b returned nothing")
+	}
+	b.Close()
+	b.Close()
+}
+
+// TestSlowQueryLogEndToEnd arms the per-query threshold and checks the
+// offender lands in the process slow-query log with its span tree.
+func TestSlowQueryLogEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	rel := buildDemo(t, 2000)
+	sig := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
+	before := len(rankcube.SlowQueries())
+	_, err := sig.Query(ctx, rankcube.Cond{0: 1}, rankcube.Sum(0, 1), 10,
+		rankcube.WithSlowLogThreshold(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := rankcube.SlowQueries()
+	if len(entries) <= before {
+		t.Fatal("slow query was not admitted to the log")
+	}
+	last := entries[len(entries)-1]
+	if last.Kind != "sig.topk" {
+		t.Fatalf("slow entry kind = %q", last.Kind)
+	}
+	if last.Outcome != rankcube.OutcomeOK {
+		t.Fatalf("slow entry outcome = %q", last.Outcome)
+	}
+	if !strings.Contains(last.Tree, "sig.topk") {
+		t.Fatalf("slow entry tree does not contain the root span:\n%s", last.Tree)
+	}
+	var sb strings.Builder
+	rankcube.WriteSlowQueryLog(&sb)
+	if !strings.Contains(sb.String(), "sig.topk") {
+		t.Fatalf("WriteSlowQueryLog output missing the entry:\n%s", sb.String())
+	}
+}

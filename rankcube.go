@@ -20,6 +20,26 @@
 // All query engines score ascending: lower is better. Express
 // higher-is-better preferences by negating the function.
 //
+// # Canonical query API
+//
+// Every engine's canonical entry point is ctx-first with variadic
+// options:
+//
+//	res, err := cube.Query(ctx, cond, f, k,
+//	    rankcube.WithBudget(rankcube.Budget{MaxBlockReads: 10_000}),
+//	    rankcube.WithMetrics(m),
+//	    rankcube.WithTrace(tr))
+//
+// (GridCube.Query, SignatureCube.Query, MergeQuery, JoinQuery,
+// SkylineEngine.Query / DrillDownQuery / RollUpQuery, TableScanQuery,
+// and for maintenance InsertTuple / DeleteTuple / OpenScan.) Options:
+// WithBudget, WithMetrics, WithTrace, WithSlowLogThreshold. The legacy
+// bare and *Ctx forms remain as thin wrappers. Every canonical query is
+// also recorded — kind, outcome, latency histogram, block reads — into
+// the process-wide registry (DefaultRegistry, MetricsHandler,
+// PublishExpvar), and queries crossing SetSlowQueryThreshold land in the
+// slow-query log with their span trees (WriteSlowQueryLog).
+//
 // # Robustness & degradation policy
 //
 // Every query entry point has a context-aware variant (TopKCtx, JoinCtx,
@@ -241,10 +261,12 @@ func BuildGridCube(rel *Relation, opts GridOptions) *GridCube {
 	})}
 }
 
-// TopK answers a multi-dimensional top-k query. It is TopKCtx with a
+// TopK answers a multi-dimensional top-k query. It is Query with a
 // background context and no budget (faults still degrade to a scan).
+//
+// Deprecated: use GridCube.Query.
 func (g *GridCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, error) {
-	return g.TopKCtx(context.Background(), cond, f, k, Budget{}, m)
+	return g.Query(context.Background(), cond, f, k, WithMetrics(m))
 }
 
 // Insert adds a tuple into the cube using the pre-computed partition
@@ -311,30 +333,40 @@ func BuildSignatureCube(rel *Relation, opts SigOptions) *SignatureCube {
 	})}
 }
 
-// TopK answers a multi-dimensional top-k query. It is TopKCtx with a
+// TopK answers a multi-dimensional top-k query. It is Query with a
 // background context and no budget (faults still degrade to a scan).
+//
+// Deprecated: use SignatureCube.Query.
 func (s *SignatureCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, error) {
-	return s.TopKCtx(context.Background(), cond, f, k, Budget{}, m)
+	return s.Query(context.Background(), cond, f, k, WithMetrics(m))
 }
 
 // Insert appends a tuple and incrementally maintains all signatures. It
 // fails with ErrStructureUnavailable when the cube's partition does not
 // support incremental maintenance (rebuild instead), and with storage
-// errors when maintenance I/O faults. It is InsertCtx with a background
-// context and no budget.
+// errors when maintenance I/O faults. It is InsertTuple with a
+// background context and no budget.
+//
+// Deprecated: use SignatureCube.InsertTuple.
 func (s *SignatureCube) Insert(sel []int32, rank []float64, m *Metrics) (TID, error) {
-	return s.InsertCtx(context.Background(), sel, rank, Budget{}, m)
+	return s.InsertTuple(context.Background(), sel, rank, WithMetrics(m))
 }
 
 // Delete removes a tuple from the partition and signatures, with the same
-// error contract as Insert. It is DeleteCtx with a background context and
-// no budget.
+// error contract as Insert. It is DeleteTuple with a background context
+// and no budget.
+//
+// Deprecated: use SignatureCube.DeleteTuple.
 func (s *SignatureCube) Delete(tid TID, m *Metrics) (bool, error) {
-	return s.DeleteCtx(context.Background(), tid, Budget{}, m)
+	return s.DeleteTuple(context.Background(), tid, WithMetrics(m))
 }
 
 // Scan opens a score-ascending iterator over tuples matching cond — the
-// rank-aware selection operator rank joins pull from.
+// rank-aware selection operator rank joins pull from. Unlike OpenScan it
+// is neither governed nor panic-contained: engine faults propagate as
+// panics.
+//
+// Deprecated: use SignatureCube.OpenScan.
 func (s *SignatureCube) Scan(cond Cond, f Func, m *Metrics) (*Scanner, error) {
 	return s.c.Scan(cond, f, ensureMetrics(m))
 }
@@ -372,10 +404,12 @@ type MergeOptions struct {
 
 // MergeTopK answers a top-k query whose function spans several indices by
 // progressive index-merge. rel provides the tuple count for signature
-// construction when requested. It is MergeTopKCtx with a background context
+// construction when requested. It is MergeQuery with a background context
 // and no budget (faults still degrade to a table scan).
+//
+// Deprecated: use MergeQuery.
 func MergeTopK(rel *Relation, indices []Index, f Func, k int, opts MergeOptions, m *Metrics) ([]Result, error) {
-	return MergeTopKCtx(context.Background(), rel, indices, f, k, opts, Budget{}, m)
+	return MergeQuery(context.Background(), rel, indices, f, k, opts, WithMetrics(m))
 }
 
 // ---------------------------------------------------------------------------
@@ -401,8 +435,10 @@ type JoinResult = joinquery.Result
 // Join answers a multi-relational top-k query: equality join on the shared
 // key domain, per-relation boolean conditions, combined score = sum of
 // per-relation scores.
+//
+// Deprecated: use JoinQuery.
 func Join(parts []JoinPart, k int, m *Metrics) ([]JoinResult, error) {
-	return JoinCtx(context.Background(), parts, k, Budget{}, m)
+	return JoinQuery(context.Background(), parts, k, WithMetrics(m))
 }
 
 // ---------------------------------------------------------------------------
@@ -430,20 +466,26 @@ func NewSkylineEngine(cube *SignatureCube) *SkylineEngine {
 // Skyline computes the skyline of the tuples matching cond, minimizing the
 // given ranking dimensions. A non-nil target asks for the dynamic skyline
 // in |x−target| space.
+//
+// Deprecated: use SkylineEngine.Query.
 func (s *SkylineEngine) Skyline(cond Cond, dims []int, target []float64, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	return s.SkylineCtx(context.Background(), cond, dims, target, Budget{}, m)
+	return s.Query(context.Background(), cond, dims, target, WithMetrics(m))
 }
 
 // DrillDown tightens the previous query with extra predicates, reusing its
 // candidate basis.
+//
+// Deprecated: use SkylineEngine.DrillDownQuery.
 func (s *SkylineEngine) DrillDown(prev *SkylineSnapshot, extra Cond, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	return s.DrillDownCtx(context.Background(), prev, extra, Budget{}, m)
+	return s.DrillDownQuery(context.Background(), prev, extra, WithMetrics(m))
 }
 
 // RollUp relaxes the previous query by removing predicates on the given
 // dimensions, seeding the search with the previous skyline.
+//
+// Deprecated: use SkylineEngine.RollUpQuery.
 func (s *SkylineEngine) RollUp(prev *SkylineSnapshot, removeDims []int, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	return s.RollUpCtx(context.Background(), prev, removeDims, Budget{}, m)
+	return s.RollUpQuery(context.Background(), prev, removeDims, WithMetrics(m))
 }
 
 // ---------------------------------------------------------------------------
@@ -451,6 +493,9 @@ func (s *SkylineEngine) RollUp(prev *SkylineSnapshot, removeDims []int, m *Metri
 // ---------------------------------------------------------------------------
 
 // TableScanTopK answers a query by scanning rel (the thesis' baseline).
+// It is ungoverned; TableScanQuery is the canonical governed form.
+//
+// Deprecated: use TableScanQuery.
 func TableScanTopK(rel *Relation, cond Cond, f Func, k int, m *Metrics) []Result {
 	h := baselines.NewHeapFile(rel, 0)
 	return baselines.NewTableScan(h).TopK(cond, f, k, ensureMetrics(m))

@@ -1,23 +1,20 @@
 package rankcube
 
-// Robustness & degradation layer: context-aware query variants with
-// per-query budgets, panic containment at the API boundary, and transparent
-// fallback to exact baseline scans when cube structures fault. See the
-// package documentation ("Robustness & degradation policy") for the rules.
+// Robustness & degradation layer: typed query errors, per-query budgets,
+// panic containment at the API boundary, and transparent fallback to exact
+// baseline scans when cube structures fault. See the package documentation
+// ("Robustness & degradation policy") for the rules. The legacy *Ctx entry
+// points here are thin wrappers over the canonical Option-based forms in
+// query.go, which own the boundary logic.
 
 import (
 	"context"
 	"errors"
-	"fmt"
 
-	"rankcube/internal/baselines"
 	"rankcube/internal/errs"
 	"rankcube/internal/governor"
-	"rankcube/internal/gridcube"
-	"rankcube/internal/indexmerge"
-	"rankcube/internal/joinquery"
+	"rankcube/internal/obs"
 	"rankcube/internal/pager"
-	"rankcube/internal/skyline"
 )
 
 // PageStore is a block-granular page store backing a cube structure. It is
@@ -99,14 +96,16 @@ func (b Budget) shouldDegrade(err error) bool {
 
 // runGoverned executes fn with a query governor attached to m, converting
 // typed aborts (cancellation, budget trips, storage faults) and any other
-// panic into errors. No panic escapes it.
+// panic into errors. No panic escapes it. Detachment is ownership-guarded:
+// only the governor this call attached is removed, so nested or stale
+// runners cannot strip a successor's.
 func runGoverned[T any](ctx context.Context, lim governor.Limits, m *Metrics, fn func() (T, error)) (out T, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	gov := governor.New(ctx, lim)
 	m.SetGovernor(gov)
-	defer m.SetGovernor(nil)
+	defer m.DetachGovernor(gov)
 	defer func() {
 		if r := recover(); r != nil {
 			err = errs.FromPanic(r)
@@ -118,96 +117,36 @@ func runGoverned[T any](ctx context.Context, lim governor.Limits, m *Metrics, fn
 	return fn()
 }
 
-// degradeTo re-answers a failed query from its baseline fallback, recording
-// the downgrade. The fallback runs under cancellation only: budgets do not
-// apply (the scan is the floor cost of an exact answer), and it too is
-// panic-contained.
-func degradeTo[T any](ctx context.Context, m *Metrics, fn func() T) (T, error) {
-	m.Downgrades++
-	return runGoverned(ctx, governor.Limits{}, m, func() (T, error) { return fn(), nil })
-}
-
 // ---------------------------------------------------------------------------
-// Context-aware engine entry points
+// Legacy context-aware entry points (thin wrappers over query.go)
 // ---------------------------------------------------------------------------
 
-// TopKCtx answers a top-k query under ctx and budget b. On storage faults
-// (and, with b.FallbackOnBudget, budget trips) it transparently re-answers
-// from a tombstone-aware sequential scan, recording the downgrade in the
-// metrics' Downgrades counter.
+// TopKCtx is Query with an explicit Budget and Metrics.
+//
+// Deprecated: use GridCube.Query with WithBudget / WithMetrics.
 func (g *GridCube) TopKCtx(ctx context.Context, cond Cond, f Func, k int, b Budget, m *Metrics) ([]Result, error) {
-	m = ensureMetrics(m)
-	q := gridcube.Query{Cond: cond, F: f, K: k}
-	res, err := runGoverned(ctx, b.limits(), m, func() ([]Result, error) {
-		return g.c.TopK(q, m)
-	})
-	if b.shouldDegrade(err) {
-		return degradeTo(ctx, m, func() []Result { return g.c.ScanTopK(q, m) })
-	}
-	return res, err
+	return g.Query(ctx, cond, f, k, WithBudget(b), WithMetrics(m))
 }
 
-// TopKCtx answers a top-k query under ctx and budget b, degrading to a
-// delete-aware sequential scan on storage faults as GridCube.TopKCtx does.
+// TopKCtx is Query with an explicit Budget and Metrics.
+//
+// Deprecated: use SignatureCube.Query with WithBudget / WithMetrics.
 func (s *SignatureCube) TopKCtx(ctx context.Context, cond Cond, f Func, k int, b Budget, m *Metrics) ([]Result, error) {
-	m = ensureMetrics(m)
-	res, err := runGoverned(ctx, b.limits(), m, func() ([]Result, error) {
-		return s.c.TopK(cond, f, k, m)
-	})
-	if b.shouldDegrade(err) {
-		return degradeTo(ctx, m, func() []Result { return s.c.ScanTopK(cond, f, k, m) })
-	}
-	return res, err
+	return s.Query(ctx, cond, f, k, WithBudget(b), WithMetrics(m))
 }
 
-// MergeTopKCtx is MergeTopK under ctx and budget b. Configuration errors
-// (no indices, uncovered ranking dimensions) surface directly; runtime
-// storage faults degrade to a full table scan, which is exact because
-// index-merge queries carry no boolean predicate.
+// MergeTopKCtx is MergeQuery with an explicit Budget and Metrics.
+//
+// Deprecated: use MergeQuery with WithBudget / WithMetrics.
 func MergeTopKCtx(ctx context.Context, rel *Relation, indices []Index, f Func, k int, opts MergeOptions, b Budget, m *Metrics) ([]Result, error) {
-	m = ensureMetrics(m)
-	res, err := runGoverned(ctx, b.limits(), m, func() ([]Result, error) {
-		var mo indexmerge.Options
-		if opts.JoinSignature {
-			js, jerr := indexmerge.BuildJoinSignature(indices, rel.Len(), indexmerge.JoinSigConfig{})
-			if jerr != nil {
-				return nil, jerr
-			}
-			mo.Pruner = js
-		}
-		return indexmerge.TopK(indices, f, k, mo, m)
-	})
-	if b.shouldDegrade(err) {
-		return degradeTo(ctx, m, func() []Result {
-			h := baselines.NewHeapFile(rel, 0)
-			return baselines.NewTableScan(h).TopK(Cond{}, f, k, m)
-		})
-	}
-	return res, err
+	return MergeQuery(ctx, rel, indices, f, k, opts, WithBudget(b), WithMetrics(m))
 }
 
-// JoinCtx is Join under ctx and budget b. When a member relation's cube
-// faults mid-join, the query degrades to an exact brute-force hash join
-// over sequential scans of the participating relations.
+// JoinCtx is JoinQuery with an explicit Budget and Metrics.
+//
+// Deprecated: use JoinQuery with WithBudget / WithMetrics.
 func JoinCtx(ctx context.Context, parts []JoinPart, k int, b Budget, m *Metrics) ([]JoinResult, error) {
-	m = ensureMetrics(m)
-	q := joinquery.Query{Parts: parts, K: k}
-	res, err := runGoverned(ctx, b.limits(), m, func() ([]JoinResult, error) {
-		return joinquery.Execute(q, joinquery.Options{}, m)
-	})
-	if b.shouldDegrade(err) {
-		return runGovernedDowngrade(ctx, m, func() ([]JoinResult, error) {
-			return joinquery.BruteForce(q, m)
-		})
-	}
-	return res, err
-}
-
-// runGovernedDowngrade is degradeTo for fallbacks that themselves return
-// errors (the brute-force join validates its query).
-func runGovernedDowngrade[T any](ctx context.Context, m *Metrics, fn func() (T, error)) (T, error) {
-	m.Downgrades++
-	return runGoverned(ctx, governor.Limits{}, m, fn)
+	return JoinQuery(ctx, parts, k, WithBudget(b), WithMetrics(m))
 }
 
 // skyOut bundles the skyline result pair through the governed runner.
@@ -216,90 +155,43 @@ type skyOut struct {
 	snap *SkylineSnapshot
 }
 
-// SkylineCtx is Skyline under ctx and budget b. On storage faults it
-// degrades to an exact sequential-scan skyline; the returned snapshot is
-// then marked degraded and navigation (drill-down/roll-up) restarts from
-// scratch instead of reusing the candidate basis.
+// SkylineCtx is Query with an explicit Budget and Metrics.
+//
+// Deprecated: use SkylineEngine.Query with WithBudget / WithMetrics.
 func (s *SkylineEngine) SkylineCtx(ctx context.Context, cond Cond, dims []int, target []float64, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	m = ensureMetrics(m)
-	q := skyline.Query{Cond: cond, Dims: dims, Target: target}
-	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
-		res, snap, err := s.e.Skyline(q, m)
-		return skyOut{res, snap}, err
-	})
-	if b.shouldDegrade(err) {
-		out, err = runGovernedDowngrade(ctx, m, func() (skyOut, error) {
-			res, snap, serr := s.e.ScanSkyline(q, m)
-			return skyOut{res, snap}, serr
-		})
-	}
-	return out.res, out.snap, err
+	return s.Query(ctx, cond, dims, target, WithBudget(b), WithMetrics(m))
 }
 
-// DrillDownCtx is DrillDown under ctx and budget b, with the same
-// degradation policy as SkylineCtx (the fallback answers the tightened
-// query by sequential scan).
+// DrillDownCtx is DrillDownQuery with an explicit Budget and Metrics.
+//
+// Deprecated: use SkylineEngine.DrillDownQuery with WithBudget /
+// WithMetrics.
 func (s *SkylineEngine) DrillDownCtx(ctx context.Context, prev *SkylineSnapshot, extra Cond, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	if prev == nil {
-		return nil, nil, fmt.Errorf("rankcube: drill-down requires a previous snapshot: %w", errs.ErrInvalidArgument)
-	}
-	m = ensureMetrics(m)
-	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
-		res, snap, err := s.e.DrillDown(prev, extra, m)
-		return skyOut{res, snap}, err
-	})
-	if b.shouldDegrade(err) {
-		q, qerr := prev.DrillQuery(extra)
-		if qerr != nil {
-			return nil, nil, qerr
-		}
-		out, err = runGovernedDowngrade(ctx, m, func() (skyOut, error) {
-			res, snap, serr := s.e.ScanSkyline(q, m)
-			return skyOut{res, snap}, serr
-		})
-	}
-	return out.res, out.snap, err
+	return s.DrillDownQuery(ctx, prev, extra, WithBudget(b), WithMetrics(m))
 }
 
-// RollUpCtx is RollUp under ctx and budget b, with the same degradation
-// policy as SkylineCtx.
+// RollUpCtx is RollUpQuery with an explicit Budget and Metrics.
+//
+// Deprecated: use SkylineEngine.RollUpQuery with WithBudget /
+// WithMetrics.
 func (s *SkylineEngine) RollUpCtx(ctx context.Context, prev *SkylineSnapshot, removeDims []int, b Budget, m *Metrics) ([]SkylineResult, *SkylineSnapshot, error) {
-	if prev == nil {
-		return nil, nil, fmt.Errorf("rankcube: roll-up requires a previous snapshot: %w", errs.ErrInvalidArgument)
-	}
-	m = ensureMetrics(m)
-	out, err := runGoverned(ctx, b.limits(), m, func() (skyOut, error) {
-		res, snap, err := s.e.RollUp(prev, removeDims, m)
-		return skyOut{res, snap}, err
-	})
-	if b.shouldDegrade(err) {
-		out, err = runGovernedDowngrade(ctx, m, func() (skyOut, error) {
-			res, snap, serr := s.e.ScanSkyline(prev.RollQuery(removeDims), m)
-			return skyOut{res, snap}, serr
-		})
-	}
-	return out.res, out.snap, err
+	return s.RollUpQuery(ctx, prev, removeDims, WithBudget(b), WithMetrics(m))
 }
 
-// InsertCtx appends a tuple and incrementally maintains all signatures
-// under ctx and budget b. Maintenance never degrades — there is no baseline
-// that could maintain the cube — so faults surface as typed errors:
-// ErrStructureUnavailable when the partition does not support incremental
-// maintenance, storage errors when maintenance I/O faults.
+// InsertCtx is InsertTuple with an explicit Budget and Metrics.
+//
+// Deprecated: use SignatureCube.InsertTuple with WithBudget /
+// WithMetrics.
 func (s *SignatureCube) InsertCtx(ctx context.Context, sel []int32, rank []float64, b Budget, m *Metrics) (TID, error) {
-	m = ensureMetrics(m)
-	return runGoverned(ctx, b.limits(), m, func() (TID, error) {
-		return s.c.Insert(sel, rank, m), nil
-	})
+	return s.InsertTuple(ctx, sel, rank, WithBudget(b), WithMetrics(m))
 }
 
-// DeleteCtx removes a tuple from the partition and signatures under ctx
-// and budget b, with the same no-degradation error contract as InsertCtx.
+// DeleteCtx is DeleteTuple with an explicit Budget and Metrics.
+//
+// Deprecated: use SignatureCube.DeleteTuple with WithBudget /
+// WithMetrics.
 func (s *SignatureCube) DeleteCtx(ctx context.Context, tid TID, b Budget, m *Metrics) (bool, error) {
-	m = ensureMetrics(m)
-	return runGoverned(ctx, b.limits(), m, func() (bool, error) {
-		return s.c.Delete(tid, m), nil
-	})
+	return s.DeleteTuple(ctx, tid, WithBudget(b), WithMetrics(m))
 }
 
 // GovernedScanner is a panic-contained, budget-governed score-ascending
@@ -307,32 +199,17 @@ func (s *SignatureCube) DeleteCtx(ctx context.Context, tid TID, b Budget, m *Met
 // a stream cannot restart without re-emitting — so faults surface as typed
 // errors from Next.
 type GovernedScanner struct {
-	s *Scanner
-	m *Metrics
-	g *governor.Governor
+	s  *Scanner
+	m  *Metrics
+	g  *governor.Governor
+	tr *obs.Trace
 }
 
-// ScanCtx opens a governed rank-aware scan over the cube. The governor
-// stays attached to m for the lifetime of the scanner; open a fresh
-// Metrics per scan when running scans concurrently.
+// ScanCtx is OpenScan with an explicit Budget and Metrics.
+//
+// Deprecated: use SignatureCube.OpenScan with WithBudget / WithMetrics.
 func (s *SignatureCube) ScanCtx(ctx context.Context, cond Cond, f Func, b Budget, m *Metrics) (*GovernedScanner, error) {
-	m = ensureMetrics(m)
-	gov := governor.New(ctx, b.limits())
-	m.SetGovernor(gov)
-	sc, err := func() (sc *Scanner, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = errs.FromPanic(r)
-				sc = nil
-			}
-		}()
-		return s.c.Scan(cond, f, m)
-	}()
-	if err != nil {
-		m.SetGovernor(nil)
-		return nil, err
-	}
-	return &GovernedScanner{s: sc, m: m, g: gov}, nil
+	return s.OpenScan(ctx, cond, f, WithBudget(b), WithMetrics(m))
 }
 
 // Next returns the next matching tuple in ascending score order. ok is
@@ -348,5 +225,14 @@ func (g *GovernedScanner) Next() (res Result, ok bool, err error) {
 	return res, ok, nil
 }
 
-// Close detaches the scan's governor from its metrics collector.
-func (g *GovernedScanner) Close() { g.m.SetGovernor(nil) }
+// Close releases the scan's governor (and trace, if any) from its metrics
+// collector. Close is idempotent, and detachment is ownership-guarded: if
+// the shared Metrics has since been attached to another query or scanner,
+// a late Close does not strip the successor's governor.
+func (g *GovernedScanner) Close() {
+	g.m.DetachGovernor(g.g)
+	if g.tr != nil {
+		g.m.DetachObserver(g.tr)
+		g.tr.Finish()
+	}
+}
