@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-json clean
+.PHONY: all build vet lint test race chaos check bench bench-json clean
 
 all: check
 
@@ -24,7 +24,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet lint race
+# Seeded, bounded serving-chaos run (internal/chaos) under the race
+# detector: concurrent query storms + online maintenance + scripted
+# corruption/repair, asserting typed outcomes, exact crosschecks, and
+# half-open re-admission. Override the seed with CHAOS_SEED=… (the harness
+# default is seed 1).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos$$' ./internal/chaos -v
+
+check: build vet lint race chaos
 
 # Quick smoke of the benchmark harness (full runs via cmd/rankbench).
 bench:

@@ -10,6 +10,7 @@
 //	rankbench -all -scale 0.05      # smaller datasets (default 0.1× thesis)
 //	rankbench -all -queries 20      # queries averaged per point (default 10)
 //	rankbench -all -http :8080      # live observability while running
+//	rankbench -chaos 5s             # seeded serving-chaos run (invariant check)
 //
 // With -http, the process serves /metrics (the rankcube registry as plain
 // text), /debug/vars (expvar JSON, registry included), and /debug/pprof/*
@@ -35,6 +36,7 @@ import (
 
 	"rankcube"
 	"rankcube/internal/bench"
+	"rankcube/internal/chaos"
 )
 
 func main() {
@@ -46,8 +48,28 @@ func main() {
 		queries = flag.Int("queries", 10, "random queries averaged per data point")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		httpAdr = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
+		chaosFl = flag.Duration("chaos", 0, "run the seeded serving-chaos harness for this duration instead of experiments")
 	)
 	flag.Parse()
+
+	if *chaosFl > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		rep, err := chaos.Run(ctx, chaos.Config{Seed: *seed, Duration: *chaosFl})
+		if rep != nil {
+			fmt.Println(rep)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rankbench: chaos interrupted: %v\n", err)
+			os.Exit(130)
+		}
+		if err := rep.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "rankbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("chaos: all serving invariants held")
+		return
+	}
 
 	if *httpAdr != "" {
 		rankcube.PublishExpvar()

@@ -14,7 +14,12 @@
 //	trace <top …|sky …>             # run a query and print its span tree
 //	slow                            # dump the slow-query log
 //	stats                           # dump the process metrics registry
+//	health                          # store lifecycle states and gate occupancy
+//	repair                          # verify, rebuild, re-admit quarantined stores
 //	help | quit
+//
+// With -max-inflight N (and optionally -max-queue M), an admission gate
+// bounds concurrent serving; the process drains the gate before exiting.
 //
 // With -slowlog <dur>, queries at or above the threshold are kept in a ring
 // buffer with their execution span trees; "slow" prints them.
@@ -38,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rankcube"
 )
@@ -52,6 +58,9 @@ func main() {
 		rnkDim  = flag.Int("rankdims", 2, "ranking dimensions for -gen")
 		card    = flag.Int("card", 10, "selection cardinality for -gen")
 		slowlog = flag.Duration("slowlog", 0, "record queries at or above this duration in the slow-query log (0 = off)")
+
+		maxInflight = flag.Int("max-inflight", 0, "admission gate: max concurrently served queries (0 = ungated)")
+		maxQueue    = flag.Int("max-queue", 0, "admission gate: max queries parked waiting for a slot")
 	)
 	flag.Parse()
 	if *slowlog > 0 {
@@ -80,6 +89,19 @@ func main() {
 	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{})
 	eng := rankcube.NewSkylineEngine(cube)
 	fmt.Printf("done (%.1f MB of signatures)\n", float64(cube.SizeBytes())/(1<<20))
+	if *maxInflight > 0 {
+		cube.SetAdmission(rankcube.AdmissionConfig{MaxInFlight: *maxInflight, MaxWaiting: *maxQueue})
+		fmt.Printf("admission gate: %d in flight, %d waiting\n", *maxInflight, *maxQueue)
+	}
+	// Drain on exit: refuse new queries and wait (briefly) for in-flight
+	// ones so the process never dies mid-answer.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := cube.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "rankcube: drain: %v\n", err)
+		}
+	}()
 	fmt.Println(`type "help" for the query syntax`)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -96,10 +118,32 @@ func main() {
 			fmt.Println("  trace <query>                       — run a query, print its span tree")
 			fmt.Println("  slow                                — dump the slow-query log")
 			fmt.Println("  stats                               — dump the metrics registry")
+			fmt.Println("  health                              — store lifecycle states and gate occupancy")
+			fmt.Println("  repair                              — verify, rebuild, and re-admit quarantined stores")
 		case line == "slow":
 			rankcube.WriteSlowQueryLog(os.Stdout)
 		case line == "stats":
 			rankcube.DefaultRegistry().WriteText(os.Stdout)
+		case line == "health":
+			for _, h := range cube.Health() {
+				fmt.Printf("  %-12v %-12s %d pages\n", h.Kind, h.State, h.Pages)
+			}
+			if st := cube.AdmissionStats(); st.Gated {
+				fmt.Printf("  gate: %d in flight, %d waiting, draining=%v\n", st.InFlight, st.Waiting, st.Draining)
+			} else {
+				fmt.Println("  gate: none (ungated)")
+			}
+		case line == "repair":
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			reports, err := cube.Repair(ctx)
+			stop()
+			for _, r := range reports {
+				fmt.Printf("  %-12v corrupt=%d rebuilt=%v(%d pages) probed=%v readmitted=%v state=%s\n",
+					r.Kind, r.CorruptPages, r.Rebuilt, r.RebuiltPages, r.Probed, r.Readmitted, r.State)
+			}
+			if err != nil {
+				fmt.Printf("  error: %v\n", err)
+			}
 		default:
 			// A per-query signal context: Ctrl-C cancels the running query
 			// (the governor aborts it within a bounded number of block

@@ -1,0 +1,256 @@
+package rankcube_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rankcube"
+)
+
+// These tests exist to run under -race (make race / make check): parallel
+// queries against both cube engines while maintenance runs, asserting every
+// outcome is typed and every answer reconciles exactly with a baseline scan
+// taken under the same lock epoch.
+
+// TestSignatureCubeConcurrentQueryMaintain storms a signature cube with
+// concurrent queries while InsertTuple/DeleteTuple run. Queries that
+// snapshot the cube under the harness lock must match the baseline scan
+// exactly; unsynchronized queries merely must return typed results.
+func TestSignatureCubeConcurrentQueryMaintain(t *testing.T) {
+	const (
+		n       = 1200
+		s       = 2
+		card    = 4
+		workers = 8
+		iters   = 40
+	)
+	rel := rankcube.GenerateRelation(n, s, 2, card, rankcube.Uniform, 7)
+	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{Fanout: 16})
+	f := rankcube.Sum(0, 1)
+	ctx := context.Background()
+
+	// consistent serializes a query+baseline pair against mutators so the
+	// crosscheck compares answers over the same cube state; raw queries run
+	// without it, exercising the engine's own lock under -race.
+	var consistent sync.RWMutex
+	var wg sync.WaitGroup
+	var inserted atomic.Int64
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < iters; i++ {
+				cond := rankcube.Cond{rng.Intn(s): int32(rng.Intn(card))}
+				k := 1 + rng.Intn(10)
+				switch w % 4 {
+				case 0: // mutator: insert
+					consistent.Lock()
+					sel := []int32{int32(rng.Intn(card)), int32(rng.Intn(card))}
+					rank := []float64{rng.Float64(), rng.Float64()}
+					if _, err := cube.InsertTuple(ctx, sel, rank); err != nil {
+						t.Errorf("insert: %v", err)
+					}
+					inserted.Add(1)
+					consistent.Unlock()
+				case 1: // mutator: delete (may miss; that's fine)
+					consistent.Lock()
+					if _, err := cube.DeleteTuple(ctx, rankcube.TID(rng.Intn(n))); err != nil {
+						t.Errorf("delete: %v", err)
+					}
+					consistent.Unlock()
+				case 2: // checked query: must reconcile with the baseline
+					consistent.RLock()
+					got, err := cube.Query(ctx, cond, f, k)
+					want, berr := cube.BaselineQuery(ctx, cond, f, k)
+					consistent.RUnlock()
+					if err != nil || berr != nil {
+						t.Errorf("checked query: err=%v baseline=%v", err, berr)
+					} else if !scoresEqual(got, want) {
+						t.Errorf("torn result: cube %v vs baseline %v", got, want)
+					}
+				default: // raw query: typed outcome only
+					if _, err := cube.Query(ctx, cond, f, k); err != nil {
+						t.Errorf("raw query: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After the storm the cube must still reconcile exactly.
+	got, err := cube.Query(ctx, rankcube.Cond{0: 1}, f, 25)
+	if err != nil {
+		t.Fatalf("post-storm query: %v", err)
+	}
+	want, err := cube.BaselineQuery(ctx, rankcube.Cond{0: 1}, f, 25)
+	if err != nil {
+		t.Fatalf("post-storm baseline: %v", err)
+	}
+	if !scoresEqual(got, want) {
+		t.Fatalf("post-storm mismatch: cube %v vs baseline %v", got, want)
+	}
+}
+
+// TestGridCubeConcurrentQueryMaintain storms a grid cube with concurrent
+// queries while Insert/Delete/Repartition run under the cube's
+// single-writer discipline.
+func TestGridCubeConcurrentQueryMaintain(t *testing.T) {
+	const (
+		n       = 1500
+		s       = 2
+		card    = 4
+		workers = 8
+		iters   = 30
+	)
+	rel := rankcube.GenerateRelation(n, s, 2, card, rankcube.Uniform, 11)
+	cube := rankcube.BuildGridCube(rel, rankcube.GridOptions{BlockSize: 100})
+	f := rankcube.Sum(0, 1)
+	ctx := context.Background()
+
+	var consistent sync.RWMutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			for i := 0; i < iters; i++ {
+				cond := rankcube.Cond{rng.Intn(s): int32(rng.Intn(card))}
+				k := 1 + rng.Intn(10)
+				switch w % 4 {
+				case 0: // mutator: insert, with an occasional repartition
+					consistent.Lock()
+					sel := []int32{int32(rng.Intn(card)), int32(rng.Intn(card))}
+					cube.Insert(sel, []float64{rng.Float64(), rng.Float64()})
+					if i%10 == 9 {
+						cube.Repartition()
+					}
+					consistent.Unlock()
+				case 1: // mutator: tombstone
+					consistent.Lock()
+					cube.Delete(rankcube.TID(rng.Intn(n)))
+					consistent.Unlock()
+				case 2: // checked query
+					consistent.RLock()
+					got, err := cube.Query(ctx, cond, f, k)
+					want, berr := cube.BaselineQuery(ctx, cond, f, k)
+					consistent.RUnlock()
+					if err != nil || berr != nil {
+						t.Errorf("checked query: err=%v baseline=%v", err, berr)
+					} else if !scoresEqual(got, want) {
+						t.Errorf("torn result: cube %v vs baseline %v", got, want)
+					}
+				default: // raw query
+					if _, err := cube.Query(ctx, cond, f, k); err != nil {
+						t.Errorf("raw query: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentScanHoldsOffMaintenance verifies an open governed scan
+// blocks maintenance until Close, and that results keep flowing while a
+// writer waits.
+func TestConcurrentScanHoldsOffMaintenance(t *testing.T) {
+	rel := rankcube.GenerateRelation(800, 2, 2, 4, rankcube.Uniform, 3)
+	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{Fanout: 16})
+	ctx := context.Background()
+
+	sc, err := cube.OpenScan(ctx, rankcube.Cond{0: 1}, rankcube.Sum(0, 1))
+	if err != nil {
+		t.Fatalf("OpenScan: %v", err)
+	}
+
+	inserted := make(chan error, 1)
+	go func() {
+		_, err := cube.InsertTuple(ctx, []int32{1, 1}, []float64{0.5, 0.5})
+		inserted <- err
+	}()
+
+	// Drain a few results while the writer is (or soon will be) parked on
+	// the cube's exclusive lock.
+	for i := 0; i < 5; i++ {
+		if _, ok, err := sc.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		} else if !ok {
+			break
+		}
+	}
+	sc.Close()
+	if err := <-inserted; err != nil {
+		t.Fatalf("insert after scan close: %v", err)
+	}
+}
+
+// TestAdmissionOverloadTyped verifies gate rejections surface as
+// ErrOverloaded from the public Query path and that Drain refuses new
+// queries.
+func TestAdmissionOverloadTyped(t *testing.T) {
+	rel := rankcube.GenerateRelation(2000, 2, 2, 4, rankcube.Uniform, 5)
+	cube := rankcube.BuildSignatureCube(rel, rankcube.SigOptions{Fanout: 16})
+	cube.SetAdmission(rankcube.AdmissionConfig{MaxInFlight: 1, MaxWaiting: 0, Name: "sig-test"})
+	ctx := context.Background()
+	f := rankcube.Sum(0, 1)
+
+	// An open scan holds the cube's only admission slot until Close, so a
+	// concurrent query is deterministically shed.
+	sc, err := cube.OpenScan(ctx, rankcube.Cond{0: 1}, f)
+	if err != nil {
+		t.Fatalf("OpenScan: %v", err)
+	}
+	if _, err := cube.Query(ctx, rankcube.Cond{0: 1}, f, 10); !errors.Is(err, rankcube.ErrOverloaded) {
+		sc.Close()
+		t.Fatalf("query against a full gate err = %v, want ErrOverloaded", err)
+	}
+	sc.Close()
+	if _, err := cube.Query(ctx, rankcube.Cond{0: 1}, f, 10); err != nil {
+		t.Fatalf("query after slot release: %v", err)
+	}
+
+	// A storm over the 1-slot gate must only ever produce typed outcomes.
+	var overloaded, ok atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, err := cube.Query(ctx, rankcube.Cond{0: 1}, f, 10)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, rankcube.ErrOverloaded):
+					overloaded.Add(1)
+				default:
+					t.Errorf("untyped outcome: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load() == 0 {
+		t.Fatal("no query was admitted")
+	}
+	st := cube.AdmissionStats()
+	if !st.Gated || st.InFlight != 0 {
+		t.Fatalf("gate stats after storm: %+v", st)
+	}
+	_ = overloaded.Load() // sheds depend on scheduling; typedness is the assertion
+
+	if err := cube.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := cube.Query(ctx, rankcube.Cond{0: 1}, f, 1); !errors.Is(err, rankcube.ErrOverloaded) {
+		t.Fatalf("post-drain query err = %v, want ErrOverloaded", err)
+	}
+}

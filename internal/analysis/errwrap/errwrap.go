@@ -8,6 +8,15 @@
 // kindless error chain that matches no sentinel. The analyzer flags both
 // shapes in packages outside internal/ (commands are exempt: package main
 // errors terminate in a log line, not in a caller's errors.Is).
+//
+// A second rule reaches into internal packages: an *exported* internal
+// function or method that directly returns errors.New(...) or a
+// fmt.Errorf(...) without %w is a custom error constructor whose kindless
+// chain escapes through the engine to the public boundary — callers there
+// cannot classify it either. Internal sentinel definitions (package-level
+// vars) and unexported helpers stay free; the internal/errs package itself
+// (where the taxonomy lives) and the analysis tooling (whose errors
+// terminate in test logs, not in a caller's errors.Is) are exempt.
 package errwrap
 
 import (
@@ -29,7 +38,13 @@ var Analyzer = &framework.Analyzer{
 
 func run(pass *framework.Pass) error {
 	path := pass.Pkg.Path()
-	if strings.HasPrefix(path, "rankcube/internal/") || path == "rankcube/internal" || pass.Pkg.Name() == "main" {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if strings.HasPrefix(path, "rankcube/internal/") || path == "rankcube/internal" {
+		if path != "rankcube/internal/errs" && !strings.HasPrefix(path, "rankcube/internal/analysis") {
+			runConstructors(pass)
+		}
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -52,6 +67,49 @@ func run(pass *framework.Pass) error {
 		})
 	}
 	return nil
+}
+
+// runConstructors applies the internal-package rule: exported functions and
+// methods must not directly return a kindless error construction. Only
+// direct `return errors.New(...)` / `return fmt.Errorf(no %w)(...)` shapes
+// are flagged — sentinel definitions and locally-consumed errors stay free.
+func runConstructors(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				// Skip function literals: errors they return flow wherever
+				// the closure goes, which this syntactic rule cannot track.
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					call, ok := ast.Unparen(res).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					switch {
+					case isPkgFunc(pass, call, "errors", "New"):
+						pass.Reportf(call.Pos(),
+							"exported %s returns a kindless errors.New chain: wrap an errs sentinel with fmt.Errorf(..., %%w) so the public boundary can classify it", fd.Name.Name)
+					case isPkgFunc(pass, call, "fmt", "Errorf"):
+						if format, known := constFormat(pass, call); known && !strings.Contains(format, "%w") {
+							pass.Reportf(call.Pos(),
+								"exported %s returns fmt.Errorf without %%w: wrap the cause or an errs sentinel so the public boundary can classify it", fd.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
 }
 
 // isPkgFunc reports whether call invokes pkg.name, resolved through the

@@ -1,14 +1,49 @@
-// Package lib shows the internal exemption: internal packages define
-// sentinels and messages freely; typing is enforced where they cross the
-// public boundary.
+// Package lib shows the internal-package rules: internal packages define
+// sentinels and locally-consumed messages freely, but an exported function
+// that directly returns a kindless construction is a custom error
+// constructor whose chain escapes to the public boundary unclassifiable.
 package lib
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrThing is an internal sentinel: allowed.
 var ErrThing = errors.New("lib: thing unavailable")
 
-// Fail originates an internal error: allowed.
+// Fail is an exported constructor originating a kindless chain: flagged.
 func Fail() error {
-	return errors.New("lib: failed")
+	return errors.New("lib: failed") // want `exported Fail returns a kindless errors.New chain`
+}
+
+// Describe is an exported constructor formatting without %w: flagged.
+func Describe(name string) error {
+	return fmt.Errorf("lib: %s unusable", name) // want `exported Describe returns fmt.Errorf without %w`
+}
+
+// FailTyped wraps the internal sentinel: clean.
+func FailTyped(name string) error {
+	return fmt.Errorf("lib: %s: %w", name, ErrThing)
+}
+
+// helper is unexported: its callers own classification, so it stays free.
+func helper() error {
+	return errors.New("lib: helper detail")
+}
+
+// Consume uses a kindless error locally without returning it: clean.
+func Consume() string {
+	if err := helper(); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// Thing shows methods are held to the same rule as functions.
+type Thing struct{}
+
+// Check is an exported method originating a kindless chain: flagged.
+func (Thing) Check() error {
+	return errors.New("lib: check failed") // want `exported Check returns a kindless errors.New chain`
 }

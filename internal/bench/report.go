@@ -279,7 +279,7 @@ func IDs() []string {
 func Run(id string, cfg Config) (*Report, error) {
 	fn, ok := Registry[id]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, IDs())
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v): %w", id, IDs(), errs.ErrInvalidArgument)
 	}
 	return fn(cfg.Defaults()), nil
 }

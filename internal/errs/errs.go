@@ -26,6 +26,12 @@
 //     (inconsistent schema, missing snapshot, unsupported operation on
 //     this structure). Never degrades: a baseline scan cannot answer a
 //     question that was ill-posed.
+//   - ErrOverloaded — the admission gate refused the query: the serving
+//     capacity is saturated, the wait queue is full, the query's deadline
+//     would expire before it could run, or the gate is draining for
+//     shutdown. Never degrades: shedding load by running a full baseline
+//     scan would make the overload worse. Retry later or against another
+//     replica.
 //
 // # Aborts
 //
@@ -53,6 +59,7 @@ var (
 	ErrStructureUnavailable = errors.New("structure unavailable")
 	ErrInternal             = errors.New("internal engine fault")
 	ErrInvalidArgument      = errors.New("invalid argument")
+	ErrOverloaded           = errors.New("server overloaded")
 )
 
 // abort is the payload of a typed abort panic. It deliberately does not

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"rankcube/internal/guard"
 	"rankcube/internal/pager"
 	"rankcube/internal/stats"
 	"rankcube/internal/table"
@@ -120,6 +121,10 @@ type Cube struct {
 	tombstones map[table.TID]bool
 	inserted   int
 	cfg        Config
+	// ctl is the serving control block: queries hold it shared, maintenance
+	// and repair exclusive. It survives Repartition so references held by
+	// the API boundary stay valid.
+	ctl *guard.RW
 }
 
 // Config controls cube construction.
@@ -163,6 +168,7 @@ func Build(t *table.Table, cfg Config) *Cube {
 		blocks:  NewBlockTable(t, meta, cfg.pageSize()),
 		cuboids: make(map[string]*Cuboid),
 		cfg:     cfg,
+		ctl:     guard.New(),
 	}
 	cube.groups = cfg.Groups
 	if cube.groups == nil {
@@ -223,6 +229,14 @@ func (c *Cube) buildCuboid(dims []int) {
 	if _, ok := c.cuboids[key]; ok {
 		return
 	}
+	c.cuboids[key] = c.materializeCuboid(sorted, pager.NewStore(stats.StructCube, c.cfg.pageSize()))
+}
+
+// materializeCuboid assembles the cuboid over the (sorted) selection
+// dimensions from the current relation into store, which must be empty.
+// Build passes a fresh store; quarantine repair passes the corrupt
+// cuboid's store after Reset, preserving its identity.
+func (c *Cube) materializeCuboid(sorted []int, store *pager.Store) *Cuboid {
 	schema := c.t.Schema()
 	cards := make([]int, len(sorted))
 	prod := 1
@@ -245,7 +259,7 @@ func (c *Cube) buildCuboid(dims []int) {
 		pbins:      (c.meta.Bins + sf - 1) / sf,
 		meta:       c.meta,
 		compressed: c.cfg.CompressLists,
-		store:      pager.NewStore(stats.StructCube, c.cfg.pageSize()),
+		store:      store,
 	}
 
 	// Assemble entries sorted by cell key so each cell is one contiguous run.
@@ -300,8 +314,25 @@ func (c *Cube) buildCuboid(dims []int) {
 		i = j
 	}
 	cb.tuples = n
-	c.cuboids[key] = cb
+	return cb
 }
+
+// RebuildCuboid re-materializes one cuboid from the current relation into
+// its reset store — the quarantine repair path for a cuboid whose pages
+// failed checksum verification. The store object is kept (Reset truncates
+// in place) so fault-injection attachments and health monitors stay valid.
+// Overflow entries fold into the rebuilt cells; tombstones remain filtered
+// at query time as usual. The caller must hold the cube's control
+// exclusively. It returns the number of pages the rebuild materialized.
+func (c *Cube) RebuildCuboid(cb *Cuboid) int {
+	cb.store.Reset()
+	rebuilt := c.materializeCuboid(cb.dims, cb.store)
+	c.cuboids[dimsKey(cb.dims)] = rebuilt
+	return cb.store.NumPages()
+}
+
+// Ctl returns the cube's serving control block.
+func (c *Cube) Ctl() *guard.RW { return c.ctl }
 
 // Cuboid returns the materialized cuboid over exactly dims, or nil.
 func (c *Cube) Cuboid(dims []int) *Cuboid {

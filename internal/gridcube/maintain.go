@@ -98,6 +98,17 @@ func (c *Cube) Repartition() map[table.TID]table.TID {
 		source = compact
 	}
 	rebuilt := Build(source, c.cfg)
-	*c = *rebuilt
+	// Adopt the rebuilt state field by field, deliberately NOT touching
+	// c.ctl: the serving control outlives every rebuild (callers hold it
+	// exclusively right now, the API boundary reads the pointer without
+	// synchronization, and long-lived references to it must stay valid).
+	c.t = rebuilt.t
+	c.meta = rebuilt.meta
+	c.blocks = rebuilt.blocks
+	c.cuboids = rebuilt.cuboids
+	c.groups = rebuilt.groups
+	c.tombstones = rebuilt.tombstones
+	c.inserted = rebuilt.inserted
+	c.cfg = rebuilt.cfg
 	return remap
 }

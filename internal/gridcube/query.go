@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rankcube/internal/core"
+	"rankcube/internal/errs"
 	"rankcube/internal/heap"
 	"rankcube/internal/pager"
 	"rankcube/internal/ranking"
@@ -91,7 +92,7 @@ func (c *Cube) CoveringCuboids(dims []int) ([]*Cuboid, error) {
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("gridcube: dimensions %v not covered by materialized fragments", remaining(uncovered))
+			return nil, fmt.Errorf("gridcube: dimensions %v not covered by materialized fragments: %w", remaining(uncovered), errs.ErrInvalidArgument)
 		}
 		cover = append(cover, maximal[best])
 		for _, d := range maximal[best].dims {

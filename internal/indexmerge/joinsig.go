@@ -6,6 +6,7 @@ import (
 
 	"rankcube/internal/bitvec"
 	"rankcube/internal/bloom"
+	"rankcube/internal/errs"
 	"rankcube/internal/hindex"
 	"rankcube/internal/pager"
 	"rankcube/internal/stats"
@@ -107,7 +108,7 @@ func BuildJoinSignature(indices []hindex.Index, numTuples int, cfg JoinSigConfig
 	for i, idx := range indices {
 		loc, ok := idx.(hindex.TupleLocator)
 		if !ok {
-			return nil, fmt.Errorf("indexmerge: index %d cannot locate tuples", i)
+			return nil, fmt.Errorf("indexmerge: index %d cannot locate tuples: %w", i, errs.ErrInvalidArgument)
 		}
 		locators[i] = loc
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"rankcube/internal/core"
+	"rankcube/internal/errs"
 	"rankcube/internal/heap"
 	"rankcube/internal/hindex"
 	"rankcube/internal/ranking"
@@ -62,7 +63,7 @@ type partialTuple struct {
 // reference indexed dimensions (thesis data model, §5.1.1).
 func TopK(indices []hindex.Index, f ranking.Func, k int, opts Options, ctr *stats.Counters) ([]core.Result, error) {
 	if len(indices) == 0 {
-		return nil, fmt.Errorf("indexmerge: no indices")
+		return nil, fmt.Errorf("indexmerge: no indices: %w", errs.ErrInvalidArgument)
 	}
 	covered := make(map[int]bool)
 	for _, idx := range indices {
@@ -72,7 +73,7 @@ func TopK(indices []hindex.Index, f ranking.Func, k int, opts Options, ctr *stat
 	}
 	for _, a := range f.Attrs() {
 		if !covered[a] {
-			return nil, fmt.Errorf("indexmerge: ranking dimension %d not covered by any index", a)
+			return nil, fmt.Errorf("indexmerge: ranking dimension %d not covered by any index: %w", a, errs.ErrInvalidArgument)
 		}
 	}
 	m := &Merger{

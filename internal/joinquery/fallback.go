@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"rankcube/internal/core"
+	"rankcube/internal/errs"
 	"rankcube/internal/heap"
 	"rankcube/internal/stats"
 	"rankcube/internal/table"
@@ -19,7 +20,7 @@ import (
 // available and always exact.
 func BruteForce(q Query, ctr *stats.Counters) ([]Result, error) {
 	if len(q.Parts) < 2 {
-		return nil, fmt.Errorf("joinquery: need at least 2 relations, got %d", len(q.Parts))
+		return nil, fmt.Errorf("joinquery: need at least 2 relations, got %d: %w", len(q.Parts), errs.ErrInvalidArgument)
 	}
 	if q.K <= 0 {
 		return nil, nil

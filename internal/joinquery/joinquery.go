@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"rankcube/internal/core"
+	"rankcube/internal/errs"
 	"rankcube/internal/heap"
 	"rankcube/internal/ranking"
 	"rankcube/internal/sigcube"
@@ -114,7 +115,7 @@ func (o Options) scanThreshold() int {
 // joins with a threshold stop condition (§6.3.2).
 func Execute(q Query, opts Options, ctr *stats.Counters) ([]Result, error) {
 	if len(q.Parts) < 2 {
-		return nil, fmt.Errorf("joinquery: need at least 2 relations, got %d", len(q.Parts))
+		return nil, fmt.Errorf("joinquery: need at least 2 relations, got %d: %w", len(q.Parts), errs.ErrInvalidArgument)
 	}
 	if q.K <= 0 {
 		return nil, nil

@@ -175,11 +175,12 @@ type Outcome string
 
 // Query outcomes.
 const (
-	OutcomeOK       Outcome = "ok"          // answered from the cube
-	OutcomeDegraded Outcome = "degraded"    // answered by baseline fallback
-	OutcomeBudget   Outcome = "budget_trip" // failed on a Budget limit
-	OutcomeCanceled Outcome = "canceled"    // context canceled / timed out
-	OutcomeError    Outcome = "error"       // any other typed failure
+	OutcomeOK         Outcome = "ok"          // answered from the cube
+	OutcomeDegraded   Outcome = "degraded"    // answered by baseline fallback
+	OutcomeBudget     Outcome = "budget_trip" // failed on a Budget limit
+	OutcomeCanceled   Outcome = "canceled"    // context canceled / timed out
+	OutcomeOverloaded Outcome = "overloaded"  // rejected by the admission gate
+	OutcomeError      Outcome = "error"       // any other typed failure
 )
 
 // RecordQuery folds one finished query into the registry: outcome count
@@ -205,6 +206,34 @@ func (r *Registry) RecordQuery(kind string, o Outcome, d time.Duration, reads ma
 // corruption taking a structure out of service).
 func (r *Registry) RecordQuarantine(kind stats.Structure) {
 	r.Counter("quarantines." + string(kind)).Add(1)
+}
+
+// RecordQuarantineClear counts one store returning to full service, the
+// recovery event that reconciles the quarantine counter: for every
+// structure, quarantines.<kind> − quarantines.cleared.<kind> is the number
+// of stores currently out of full service.
+func (r *Registry) RecordQuarantineClear(kind stats.Structure) {
+	r.Counter("quarantines.cleared." + string(kind)).Add(1)
+}
+
+// RecordRepair counts one quarantine repair pass over a store:
+// checksum re-verification plus (when pages failed it) a rebuild from the
+// base data. rebuiltPages is how many pages the repair re-materialized.
+func (r *Registry) RecordRepair(kind stats.Structure, rebuiltPages int) {
+	r.Counter("repairs." + string(kind)).Add(1)
+	if rebuiltPages > 0 {
+		r.Counter("repairs.pages_rebuilt").Add(int64(rebuiltPages))
+	}
+}
+
+// RecordProbe counts one half-open circuit-breaker probe query against a
+// repaired store: ok decides between re-admission and re-quarantine.
+func (r *Registry) RecordProbe(kind stats.Structure, ok bool) {
+	if ok {
+		r.Counter("probes." + string(kind) + ".ok").Add(1)
+	} else {
+		r.Counter("probes." + string(kind) + ".failed").Add(1)
+	}
 }
 
 // RecordSlowQuery counts one slow-query log admission.

@@ -7,16 +7,28 @@
 // access to a hot page within one query is not double counted — matching the
 // buffering behaviour the thesis assumes ("we buffered the bid and tid lists
 // retrieved so far", §3.3.2).
+//
 // Pages carry payload checksums, verified on every read: a corrupt page
 // aborts the query with a typed errs.ErrPageCorrupt and quarantines its
-// store (subsequent access fails fast with errs.ErrStructureUnavailable
-// until ClearQuarantine). A pluggable FaultInjector makes corruption,
-// transient read errors (retried with exponential backoff), and added
-// latency deterministically testable.
+// store. A quarantined store fails fast with errs.ErrStructureUnavailable
+// until it is repaired: VerifyPages re-checks every checksum, Reset lets the
+// owning structure re-materialize its content, EnterHalfOpen re-admits reads
+// tentatively, and CloseCircuit returns the store to full service once a
+// probe query has succeeded (the half-open circuit-breaker lifecycle). A
+// pluggable FaultInjector makes corruption, transient read errors (retried
+// with exponential backoff), and added latency deterministically testable.
+//
+// A Store is safe for concurrent readers; page-table growth (Append,
+// Overwrite, Resize, Reset) and the mutable configuration (SetFaultInjector,
+// SetRetryPolicy) are serialized internally, so configuration may change
+// while queries run. Structure-level consistency between a store's pages and
+// the in-memory maps that index them is the owning engine's responsibility
+// (the cubes hold a reader/writer lock across whole operations).
 package pager
 
 import (
 	"hash/crc32"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +47,37 @@ type PageID int32
 // Invalid is the zero-value "no page" sentinel.
 const Invalid PageID = -1
 
+// State is a store's position in the quarantine lifecycle.
+type State int32
+
+// Quarantine lifecycle states.
+const (
+	// StateHealthy: the store serves reads normally.
+	StateHealthy State = iota
+	// StateQuarantined: a checksum failure took the store out of service;
+	// every access fails fast with errs.ErrStructureUnavailable until a
+	// repair moves it to half-open.
+	StateQuarantined
+	// StateHalfOpen: the store was repaired and tentatively serves reads
+	// again, but has not yet proven itself: a successful probe query moves
+	// it to healthy (CloseCircuit), another checksum failure trips it
+	// straight back to quarantined.
+	StateHalfOpen
+)
+
+// String names the state for health reports.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateQuarantined:
+		return "quarantined"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
 // Store is an append-only collection of pages belonging to one storage
 // structure. Page payloads are opaque to the pager; structures typically
 // store encoded bytes or, for structures whose size experiments do not need
@@ -42,23 +85,27 @@ const Invalid PageID = -1
 type Store struct {
 	kind     stats.Structure
 	pageSize int
-	pages    [][]byte
-	sizes    []int
+
+	// mu guards the page tables: concurrent queries read pages while
+	// maintenance appends, overwrites, or resets them.
+	mu    sync.RWMutex
+	pages [][]byte
+	sizes []int
 	// sums holds the crc32c checksum of each payload page (0 for
 	// payload-free logical pages, which have nothing to verify).
 	sums []uint32
 
-	// injector, when set, is consulted on every read (faults are opt-in;
-	// attach before serving queries — the field itself is not synchronized).
-	injector FaultInjector
-	// retryLimit bounds retries of transient read faults; backoffBase is
-	// the first retry's sleep, doubled per subsequent attempt.
+	// cfgMu guards the mutable read-path configuration so injectors and
+	// retry schedules may be swapped while queries run (the chaos harness
+	// does exactly that).
+	cfgMu       sync.RWMutex
+	injector    FaultInjector
 	retryLimit  int
 	backoffBase time.Duration
-	// quarantined is set on the first checksum failure; all later access
-	// fails fast with errs.ErrStructureUnavailable. Atomic because queries
-	// on the same store may run on concurrent goroutines.
-	quarantined atomic.Bool
+
+	// state is the quarantine lifecycle position; atomic because every
+	// read consults it on its fail-fast path.
+	state atomic.Int32
 }
 
 // Retry/backoff defaults for transient read faults. The backoff is tiny:
@@ -81,26 +128,91 @@ func NewStore(kind stats.Structure, pageSize int) *Store {
 		retryLimit: DefaultRetryLimit, backoffBase: DefaultBackoffBase}
 }
 
-// SetFaultInjector attaches (or, with nil, removes) a fault injector.
-// Attach before the store serves queries; the read path assumes the field
-// is stable while queries run.
-func (s *Store) SetFaultInjector(inj FaultInjector) { s.injector = inj }
+// SetFaultInjector attaches (or, with nil, removes) a fault injector. Safe
+// to call while queries run; in-flight page accesses finish under the
+// injector they started with.
+func (s *Store) SetFaultInjector(inj FaultInjector) {
+	s.cfgMu.Lock()
+	s.injector = inj
+	s.cfgMu.Unlock()
+}
 
 // SetRetryPolicy overrides the transient-fault retry schedule: up to limit
 // retries, sleeping backoff<<attempt between them. A zero backoff disables
-// sleeping (deterministic tests); a negative limit disables retrying.
+// sleeping (deterministic tests); a negative limit disables retrying. Safe
+// to call while queries run.
 func (s *Store) SetRetryPolicy(limit int, backoff time.Duration) {
+	s.cfgMu.Lock()
 	s.retryLimit = limit
 	s.backoffBase = backoff
+	s.cfgMu.Unlock()
 }
 
-// Quarantined reports whether the store has been taken out of service
-// after a checksum failure.
-func (s *Store) Quarantined() bool { return s.quarantined.Load() }
+// readConfig snapshots the mutable read-path configuration.
+func (s *Store) readConfig() (FaultInjector, int, time.Duration) {
+	s.cfgMu.RLock()
+	inj, limit, backoff := s.injector, s.retryLimit, s.backoffBase
+	s.cfgMu.RUnlock()
+	return inj, limit, backoff
+}
 
-// ClearQuarantine returns a quarantined store to service (after repair or
-// rebuild).
-func (s *Store) ClearQuarantine() { s.quarantined.Store(false) }
+// State reports the store's position in the quarantine lifecycle.
+func (s *Store) State() State { return State(s.state.Load()) }
+
+// Quarantined reports whether the store has been taken out of service
+// after a checksum failure (half-open stores serve reads and report false).
+func (s *Store) Quarantined() bool { return s.State() == StateQuarantined }
+
+// trip moves the store to quarantined from any state, recording the event
+// once per transition (re-tripping an already-quarantined store is a no-op,
+// so the quarantine counter counts outages, not corrupt reads).
+func (s *Store) trip() {
+	for {
+		old := s.state.Load()
+		if State(old) == StateQuarantined {
+			return
+		}
+		if s.state.CompareAndSwap(old, int32(StateQuarantined)) {
+			obs.Default().RecordQuarantine(s.kind)
+			return
+		}
+	}
+}
+
+// EnterHalfOpen moves a quarantined store to half-open after repair: reads
+// are admitted again, but full service awaits a successful probe
+// (CloseCircuit). It reports whether the transition happened (false when
+// the store was not quarantined).
+func (s *Store) EnterHalfOpen() bool {
+	return s.state.CompareAndSwap(int32(StateQuarantined), int32(StateHalfOpen))
+}
+
+// CloseCircuit returns a half-open store to full service after a probe
+// query succeeded, recording the recovery in the metrics registry. It
+// reports whether the transition happened.
+func (s *Store) CloseCircuit() bool {
+	if !s.state.CompareAndSwap(int32(StateHalfOpen), int32(StateHealthy)) {
+		return false
+	}
+	obs.Default().RecordQuarantineClear(s.kind)
+	return true
+}
+
+// Requarantine trips the store back to quarantined from any state — the
+// repair path calls it when a half-open store fails its probe query.
+func (s *Store) Requarantine() { s.trip() }
+
+// ClearQuarantine forces a store back to full service from any state,
+// bypassing the half-open probation — the big hammer for operators who have
+// repaired storage out of band. Repair/EnterHalfOpen/CloseCircuit is the
+// governed path. The recovery is recorded so quarantine and clear counts
+// reconcile.
+func (s *Store) ClearQuarantine() {
+	old := State(s.state.Swap(int32(StateHealthy)))
+	if old != StateHealthy {
+		obs.Default().RecordQuarantineClear(s.kind)
+	}
+}
 
 // Kind reports the structure label of this store.
 func (s *Store) Kind() stats.Structure { return s.kind }
@@ -112,6 +224,8 @@ func (s *Store) PageSize() int { return s.pageSize }
 // the page size are permitted; they count as multiple blocks on read
 // (ceil(len/pageSize)), modelling multi-page overflow records.
 func (s *Store) Append(data []byte) PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := PageID(len(s.pages))
 	s.pages = append(s.pages, data)
 	s.sizes = append(s.sizes, len(data))
@@ -123,6 +237,8 @@ func (s *Store) Append(data []byte) PageID {
 // payload. Used by structures whose contents live in native Go form but whose
 // block I/O and footprint must still be accounted.
 func (s *Store) AppendLogical(size int) PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := PageID(len(s.pages))
 	s.pages = append(s.pages, nil)
 	s.sizes = append(s.sizes, size)
@@ -133,6 +249,8 @@ func (s *Store) AppendLogical(size int) PageID {
 // Overwrite replaces the payload of an existing page (incremental
 // maintenance rewrites signature pages in place).
 func (s *Store) Overwrite(id PageID, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pages[id] = data
 	s.sizes[id] = len(data)
 	s.sums[id] = crc32.Checksum(data, crcTable)
@@ -141,7 +259,49 @@ func (s *Store) Overwrite(id PageID, data []byte) {
 // Resize updates the logical size of a payload-free page (cells grow under
 // incremental maintenance).
 func (s *Store) Resize(id PageID, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.sizes[id] = size
+}
+
+// Reset truncates the store to zero pages while keeping its identity —
+// kind, page size, fault injector, retry policy, and quarantine state all
+// survive. The repair path uses it: the owning structure resets the store
+// and re-materializes its content from the base data, so every reference to
+// the store (fault injection attachments, health monitors) stays valid.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = s.pages[:0]
+	s.sizes = s.sizes[:0]
+	s.sums = s.sums[:0]
+}
+
+// VerifyPages re-verifies every payload page's checksum — the first step of
+// quarantine repair — and returns the ids that fail. The attached fault
+// injector participates (persistent corruption stays visible to
+// verification); transient read faults do not (verification models a
+// maintenance pass with unbounded patience, not a query). No reads are
+// charged and the quarantine fail-fast does not apply: this is exactly the
+// path that runs while the store is out of service.
+func (s *Store) VerifyPages() []PageID {
+	inj, _, _ := s.readConfig()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var bad []PageID
+	for i, data := range s.pages {
+		if data == nil {
+			continue
+		}
+		id := PageID(i)
+		if inj != nil {
+			data = inj.MutatePayload(id, data)
+		}
+		if crc32.Checksum(data, crcTable) != s.sums[i] {
+			bad = append(bad, id)
+		}
+	}
+	return bad
 }
 
 // Read fetches the payload of page id, charging the read to c. The
@@ -149,14 +309,15 @@ func (s *Store) Resize(id PageID, size int) {
 // corruption) quarantines the store and aborts the query with a typed
 // errs.ErrPageCorrupt.
 func (s *Store) Read(id PageID, c *stats.Counters) []byte {
-	s.access(id, c)
-	data := s.pages[id]
-	if inj := s.injector; inj != nil && data != nil {
+	inj := s.access(id, c)
+	s.mu.RLock()
+	data, sum := s.pages[id], s.sums[id]
+	s.mu.RUnlock()
+	if inj != nil && data != nil {
 		data = inj.MutatePayload(id, data)
 	}
-	if data != nil && crc32.Checksum(data, crcTable) != s.sums[id] {
-		s.quarantined.Store(true)
-		obs.Default().RecordQuarantine(s.kind)
+	if data != nil && crc32.Checksum(data, crcTable) != sum {
+		s.trip()
 		errs.Abortf(errs.ErrPageCorrupt, "pager: %s page %d checksum mismatch", s.kind, id)
 	}
 	return data
@@ -173,39 +334,52 @@ func (s *Store) Touch(id PageID, c *stats.Counters) {
 // store is quarantined, ride out injected transient faults with bounded
 // exponential backoff, then charge the blocks to c (which consults the
 // query governor — the block-access granularity at which cancellation and
-// budgets are enforced).
-func (s *Store) access(id PageID, c *stats.Counters) {
-	if s.quarantined.Load() {
+// budgets are enforced). It returns the injector snapshot so the caller's
+// payload mutation sees the same injector the access rode out.
+func (s *Store) access(id PageID, c *stats.Counters) FaultInjector {
+	if s.Quarantined() {
 		errs.Abortf(errs.ErrStructureUnavailable, "pager: %s store quarantined", s.kind)
 	}
-	if inj := s.injector; inj != nil {
+	inj, retryLimit, backoffBase := s.readConfig()
+	if inj != nil {
 		for attempt := 0; ; attempt++ {
 			err := inj.ReadAttempt(id, attempt)
 			if err == nil {
 				break
 			}
-			if attempt >= s.retryLimit {
+			if attempt >= retryLimit {
 				errs.Abortf(errs.ErrReadFailed, "pager: %s page %d failed after %d attempts: %v",
 					s.kind, id, attempt+1, err)
 			}
 			c.AddRetry()
-			if s.backoffBase > 0 {
-				time.Sleep(s.backoffBase << uint(attempt))
+			if backoffBase > 0 {
+				time.Sleep(backoffBase << uint(attempt))
 			}
 		}
 	}
 	c.Read(s.kind, s.blocksOf(id))
+	return inj
 }
 
 // ReadRaw returns a page payload without charging any read — for size
 // accounting and maintenance bookkeeping, not query paths.
-func (s *Store) ReadRaw(id PageID) []byte { return s.pages[id] }
+func (s *Store) ReadRaw(id PageID) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pages[id]
+}
 
 // NumPages reports how many pages have been appended.
-func (s *Store) NumPages() int { return len(s.pages) }
+func (s *Store) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
 
 // Bytes reports the total logical bytes stored.
 func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var t int64
 	for _, sz := range s.sizes {
 		t += int64(sz)
@@ -215,14 +389,23 @@ func (s *Store) Bytes() int64 {
 
 // Blocks reports the total number of disk blocks the store occupies.
 func (s *Store) Blocks() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var t int64
 	for id := range s.pages {
-		t += s.blocksOf(PageID(id))
+		t += s.blocksOfLocked(PageID(id))
 	}
 	return t
 }
 
 func (s *Store) blocksOf(id PageID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocksOfLocked(id)
+}
+
+// blocksOfLocked computes the block span of page id; the caller holds mu.
+func (s *Store) blocksOfLocked(id PageID) int64 {
 	sz := s.sizes[id]
 	if sz <= 0 {
 		return 1
@@ -232,30 +415,34 @@ func (s *Store) blocksOf(id PageID) int64 {
 
 // Buffer is a per-query buffer pool: the first access to a page is charged,
 // repeats are free. The thesis' query algorithms buffer retrieved blocks for
-// the duration of one query.
+// the duration of one query. A Buffer belongs to one query on one goroutine,
+// like the stats.Counters it charges.
 type Buffer struct {
 	store *Store
-	seen  map[PageID]struct{}
+	seen  map[PageID][]byte
 }
 
 // NewBuffer wraps store with a fresh (empty) per-query buffer.
 func NewBuffer(store *Store) *Buffer {
-	return &Buffer{store: store, seen: make(map[PageID]struct{})}
+	return &Buffer{store: store, seen: make(map[PageID][]byte)}
 }
 
-// Read fetches a page, charging only the first access to c.
+// Read fetches a page, charging only the first access to c. Repeat reads
+// serve the buffered payload, so a page the query already verified cannot
+// change under it mid-query even if maintenance overwrites the store.
 func (b *Buffer) Read(id PageID, c *stats.Counters) []byte {
-	if _, ok := b.seen[id]; !ok {
-		b.seen[id] = struct{}{}
-		return b.store.Read(id, c)
+	if data, ok := b.seen[id]; ok {
+		return data
 	}
-	return b.store.pages[id]
+	data := b.store.Read(id, c)
+	b.seen[id] = data
+	return data
 }
 
 // Touch charges the first access of page id to c.
 func (b *Buffer) Touch(id PageID, c *stats.Counters) {
 	if _, ok := b.seen[id]; !ok {
-		b.seen[id] = struct{}{}
+		b.seen[id] = nil
 		b.store.Touch(id, c)
 	}
 }

@@ -23,6 +23,7 @@ func (c *Cube) Insert(sel []int32, rank []float64, ctr *stats.Counters) table.TI
 	mt := c.maintainable()
 	tid := c.t.Append(sel, rank)
 	affected := mt.Insert(tid, rank)
+	defer c.quarantineOnAbort()
 	updates := make([]pathUpdate, 0, len(affected))
 	for _, a := range affected {
 		newPath := c.rt.TuplePath(a)
@@ -44,6 +45,7 @@ func (c *Cube) Delete(tid table.TID, ctr *stats.Counters) bool {
 	if !ok {
 		return false
 	}
+	defer c.quarantineOnAbort()
 	updates := []pathUpdate{{tid: tid, old: c.paths[tid], new: nil}}
 	for _, a := range affected {
 		if a == tid {
@@ -64,6 +66,19 @@ func (c *Cube) Delete(tid table.TID, ctr *stats.Counters) bool {
 // target cell, load that cell's signature, clear old paths and set new ones,
 // and write the signature back (Alg. 2 lines 2–8).
 func (c *Cube) applyUpdates(updates []pathUpdate, ctr *stats.Counters) {
+	// Sync the path map BEFORE touching stored cells: the partition tree has
+	// already mutated, and c.paths is what RebuildStore reconstructs the
+	// signatures from. With the map synced first, an abort mid-rewrite
+	// (storage fault, cancellation) leaves the stored cells torn but the
+	// logical state complete — quarantineOnAbort then takes the store out of
+	// service until Repair rebuilds it from this map.
+	for _, u := range updates {
+		if u.new == nil {
+			delete(c.paths, u.tid)
+		} else {
+			c.paths[u.tid] = u.new
+		}
+	}
 	// A root split deepens every path; keep the encoder's height current.
 	c.enc.SetHeight(c.rt.Height())
 	widthFn := func(prefix []int) int { return c.nodeWidth(prefix) }
@@ -110,12 +125,19 @@ func (c *Cube) applyUpdates(updates []pathUpdate, ctr *stats.Counters) {
 			cb.cells[key] = c.enc.Encode(sig)
 		}
 	}
-	for _, u := range updates {
-		if u.new == nil {
-			delete(c.paths, u.tid)
-		} else {
-			c.paths[u.tid] = u.new
-		}
+}
+
+// quarantineOnAbort runs deferred inside maintenance once the partition tree
+// has mutated: if the maintenance aborts after that point (a storage fault or
+// an interruption mid-rewrite), the stored signatures no longer agree with
+// the tree, so the store is quarantined — queries degrade to exact baseline
+// scans, and Repair rebuilds the signatures from the (complete) maintained
+// state. The abort itself keeps propagating to the API boundary.
+func (c *Cube) quarantineOnAbort() {
+	if r := recover(); r != nil {
+		c.store.Requarantine()
+		//lint:invariant re-raises the in-flight typed abort after quarantining
+		panic(r)
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 	"sort"
 
 	"rankcube/internal/core"
+	"rankcube/internal/errs"
+	"rankcube/internal/guard"
 	"rankcube/internal/heap"
 	"rankcube/internal/hindex"
 	"rankcube/internal/pager"
@@ -79,6 +81,9 @@ type Cube struct {
 	// incremental maintenance diffs against.
 	paths map[table.TID][]int
 	cfg   Config
+	// ctl is the serving control block: queries hold it shared, maintenance
+	// and repair exclusive.
+	ctl *guard.RW
 }
 
 // Build runs the cubing algorithm (Alg. 1): partition tuples with an R-tree
@@ -110,6 +115,7 @@ func buildOn(t *table.Table, rt hindex.PartitionTree, cfg Config) *Cube {
 		cuboids: make(map[string]*Cuboid),
 		paths:   make(map[table.TID][]int, t.Len()),
 		cfg:     cfg,
+		ctl:     guard.New(),
 	}
 	c.enc = signature.NewEncoder(rt.MaxFanout(), rt.Height(), c.store, cfg.Alpha)
 	c.enc.SetBaselineOnly(cfg.BaselineCoding)
@@ -208,6 +214,61 @@ func (c *Cube) Table() *table.Table { return c.t }
 // Store exposes the signature page store (space accounting).
 func (c *Cube) Store() *pager.Store { return c.store }
 
+// Ctl returns the cube's serving control block.
+func (c *Cube) Ctl() *guard.RW { return c.ctl }
+
+// RebuildStore re-materializes the signature store from the cube's
+// maintained state — the quarantine repair path after page corruption. The
+// store is reset in place (its identity, fault-injection attachments, and
+// lifecycle state survive), a fresh encoder replaces the old one (whose
+// partial-page layout referenced the discarded pages), and every cuboid's
+// cells are regenerated from the tuple paths incremental maintenance keeps
+// current, so inserts and deletes applied since Build are reflected. The
+// caller must hold the cube's control exclusively. It returns the number of
+// pages the rebuild materialized.
+func (c *Cube) RebuildStore() int {
+	c.store.Reset()
+	c.enc = signature.NewEncoder(c.rt.MaxFanout(), c.rt.Height(), c.store, c.cfg.Alpha)
+	c.enc.SetBaselineOnly(c.cfg.BaselineCoding)
+
+	// Deterministic rebuild order: sorted tuple ids within sorted cuboids.
+	tids := make([]table.TID, 0, len(c.paths))
+	for tid := range c.paths {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(a, b int) bool { return tids[a] < tids[b] })
+	keys := make([]string, 0, len(c.cuboids))
+	for key := range c.cuboids {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		cb := c.cuboids[key]
+		buckets := make(map[uint64][][]int)
+		vals := make([]int32, len(cb.dims))
+		for _, tid := range tids {
+			for j, d := range cb.dims {
+				vals[j] = c.t.Sel(tid, d)
+			}
+			k := cb.cellKey(vals)
+			buckets[k] = append(buckets[k], c.paths[tid])
+		}
+		if c.cfg.LossySignatures {
+			cb.blooms = make(map[uint64]*bloomCell, len(buckets))
+			for k, paths := range buckets {
+				cb.blooms[k] = c.buildBloomCell(paths)
+			}
+		} else {
+			cb.cells = make(map[uint64]*signature.Stored, len(buckets))
+			for k, paths := range buckets {
+				cb.cells[k] = c.enc.Encode(signature.Generate(c.rt, paths))
+			}
+		}
+	}
+	return c.store.NumPages()
+}
+
 // SizeBytes reports the materialized signature footprint.
 func (c *Cube) SizeBytes() int64 { return c.store.Bytes() }
 
@@ -240,7 +301,7 @@ func (c *Cube) TesterFor(cond core.Cond, ctr *stats.Counters) (signature.Tester,
 	for _, d := range dims {
 		cb := c.Cuboid([]int{d})
 		if cb == nil {
-			return nil, false, fmt.Errorf("sigcube: no cuboid covers dimension %d", d)
+			return nil, false, fmt.Errorf("sigcube: no cuboid covers dimension %d: %w", d, errs.ErrInvalidArgument)
 		}
 		stored, ok := cb.cells[cb.cellKey([]int32{cond[d]})]
 		if !ok || stored.NumPartials() == 0 {

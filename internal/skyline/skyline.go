@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"rankcube/internal/core"
+	"rankcube/internal/errs"
 	"rankcube/internal/heap"
 	"rankcube/internal/hindex"
 	"rankcube/internal/ranking"
@@ -145,6 +146,11 @@ type Engine struct {
 // NewEngine wraps a built cube.
 func NewEngine(cube *sigcube.Cube) *Engine { return &Engine{cube: cube} }
 
+// Cube exposes the engine's underlying signature cube so the API boundary
+// can route skyline queries through the cube's serving control (shared
+// lock + admission gate).
+func (e *Engine) Cube() *sigcube.Cube { return e.cube }
+
 // Snapshot preserves a finished query's pruned-but-boolean-passing
 // candidates and skyline so OLAP navigation (drill-down/roll-up) can
 // re-construct its candidate heap instead of restarting (fig. 7.2).
@@ -175,7 +181,7 @@ func (s *Snapshot) DrillQuery(extra core.Cond) (Query, error) {
 	}
 	for d, v := range extra {
 		if old, ok := newCond[d]; ok && old != v {
-			return Query{}, fmt.Errorf("skyline: drill-down contradicts existing predicate on dimension %d", d)
+			return Query{}, fmt.Errorf("skyline: drill-down contradicts existing predicate on dimension %d: %w", d, errs.ErrInvalidArgument)
 		}
 		newCond[d] = v
 	}

@@ -35,13 +35,13 @@ func (s Schema) R() int { return len(s.RankNames) }
 // Validate checks internal consistency.
 func (s Schema) Validate() error {
 	if len(s.SelNames) != len(s.SelCard) {
-		return fmt.Errorf("table: %d selection names but %d cardinalities",
-			len(s.SelNames), len(s.SelCard))
+		return fmt.Errorf("table: %d selection names but %d cardinalities: %w",
+			len(s.SelNames), len(s.SelCard), errs.ErrInvalidArgument)
 	}
 	for d, c := range s.SelCard {
 		if c <= 0 {
-			return fmt.Errorf("table: selection dimension %s has cardinality %d",
-				s.SelNames[d], c)
+			return fmt.Errorf("table: selection dimension %s has cardinality %d: %w",
+				s.SelNames[d], c, errs.ErrInvalidArgument)
 		}
 	}
 	return nil

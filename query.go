@@ -17,6 +17,7 @@ import (
 	"rankcube/internal/errs"
 	"rankcube/internal/governor"
 	"rankcube/internal/gridcube"
+	"rankcube/internal/guard"
 	"rankcube/internal/indexmerge"
 	"rankcube/internal/joinquery"
 	"rankcube/internal/obs"
@@ -34,6 +35,15 @@ type queryConfig struct {
 	metrics *Metrics
 	trace   *Trace
 	slowNS  int64 // -1 = inherit DefaultSlowLog's threshold
+
+	// ctls are the serving controls of every structure the operation
+	// touches, set by the entry point (not an Option): queries are admitted
+	// through each control's gate and hold each control shared for the
+	// whole operation, fallback included; maintenance (write=true) holds
+	// them exclusive and bypasses admission — the exclusive lock already
+	// serializes it, and shedding maintenance would lose data, not load.
+	ctls  []*guard.RW
+	write bool
 }
 
 // applyOptions folds opts into a config. Nil options are ignored.
@@ -93,6 +103,8 @@ func classifyOutcome(err error, degraded bool) obs.Outcome {
 		return obs.OutcomeCanceled
 	case errors.Is(err, errs.ErrBudgetExceeded):
 		return obs.OutcomeBudget
+	case errors.Is(err, errs.ErrOverloaded):
+		return obs.OutcomeOverloaded
 	default:
 		return obs.OutcomeError
 	}
@@ -120,6 +132,23 @@ func runQuery[T any](ctx context.Context, kind string, cfg queryConfig,
 	attempt func(m *Metrics) (T, error),
 	fallback func(m *Metrics) (T, error),
 ) (T, error) {
+	// Admission and locking come first: a shed query must cost nothing but
+	// its rejection, and the locks must span the attempt and the fallback
+	// alike so a degraded answer reads the same consistent structures.
+	if len(cfg.ctls) > 0 {
+		if cfg.write {
+			defer guard.LockExclusive(cfg.ctls)()
+		} else {
+			release, err := guard.AcquireShared(ctx, cfg.ctls)
+			if err != nil {
+				obs.Default().RecordQuery(kind, classifyOutcome(err, false), 0, nil, 0, 0)
+				var zero T
+				return zero, err
+			}
+			defer release()
+		}
+	}
+
 	m := ensureMetrics(cfg.metrics)
 
 	slowThreshold := obs.DefaultSlowLog().Threshold()
@@ -193,10 +222,25 @@ func runQuery[T any](ctx context.Context, kind string, cfg queryConfig,
 // recording the downgrade.
 func (g *GridCube) Query(ctx context.Context, cond Cond, f Func, k int, opts ...Option) ([]Result, error) {
 	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{g.c.Ctl()}
 	q := gridcube.Query{Cond: cond, F: f, K: k}
 	return runQuery(ctx, "grid.topk", cfg,
 		func(m *Metrics) ([]Result, error) { return g.c.TopK(q, m) },
 		func(m *Metrics) ([]Result, error) { return g.c.ScanTopK(q, m), nil })
+}
+
+// BaselineQuery answers the same query as Query by the cube's governed,
+// tombstone-aware sequential scan — the exact floor the degradation policy
+// falls back to, exposed so callers (and the chaos harness) can crosscheck
+// cube answers against ground truth under the same admission gate and
+// shared lock. It never degrades further.
+func (g *GridCube) BaselineQuery(ctx context.Context, cond Cond, f Func, k int, opts ...Option) ([]Result, error) {
+	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{g.c.Ctl()}
+	q := gridcube.Query{Cond: cond, F: f, K: k}
+	return runQuery(ctx, "grid.baseline", cfg,
+		func(m *Metrics) ([]Result, error) { return g.c.ScanTopK(q, m), nil },
+		nil)
 }
 
 // Query answers a multi-dimensional top-k query under ctx, degrading to
@@ -204,9 +248,21 @@ func (g *GridCube) Query(ctx context.Context, cond Cond, f Func, k int, opts ...
 // does.
 func (s *SignatureCube) Query(ctx context.Context, cond Cond, f Func, k int, opts ...Option) ([]Result, error) {
 	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{s.c.Ctl()}
 	return runQuery(ctx, "sig.topk", cfg,
 		func(m *Metrics) ([]Result, error) { return s.c.TopK(cond, f, k, m) },
 		func(m *Metrics) ([]Result, error) { return s.c.ScanTopK(cond, f, k, m), nil })
+}
+
+// BaselineQuery answers the same query as Query by the cube's governed,
+// delete-aware sequential scan — ground truth for crosschecking, under the
+// same admission gate and shared lock. It never degrades further.
+func (s *SignatureCube) BaselineQuery(ctx context.Context, cond Cond, f Func, k int, opts ...Option) ([]Result, error) {
+	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{s.c.Ctl()}
+	return runQuery(ctx, "sig.baseline", cfg,
+		func(m *Metrics) ([]Result, error) { return s.c.ScanTopK(cond, f, k, m), nil },
+		nil)
 }
 
 // InsertTuple appends a tuple and incrementally maintains all signatures
@@ -216,6 +272,8 @@ func (s *SignatureCube) Query(ctx context.Context, cond Cond, f Func, k int, opt
 // incremental maintenance, storage errors when maintenance I/O faults.
 func (s *SignatureCube) InsertTuple(ctx context.Context, sel []int32, rank []float64, opts ...Option) (TID, error) {
 	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{s.c.Ctl()}
+	cfg.write = true
 	return runQuery(ctx, "sig.insert", cfg,
 		func(m *Metrics) (TID, error) { return s.c.Insert(sel, rank, m), nil },
 		nil)
@@ -225,6 +283,8 @@ func (s *SignatureCube) InsertTuple(ctx context.Context, sel []int32, rank []flo
 // ctx, with the same no-degradation error contract as InsertTuple.
 func (s *SignatureCube) DeleteTuple(ctx context.Context, tid TID, opts ...Option) (bool, error) {
 	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{s.c.Ctl()}
+	cfg.write = true
 	return runQuery(ctx, "sig.delete", cfg,
 		func(m *Metrics) (bool, error) { return s.c.Delete(tid, m), nil },
 		nil)
@@ -240,6 +300,15 @@ func (s *SignatureCube) DeleteTuple(ctx context.Context, tid TID, opts ...Option
 // per scan when running scans concurrently.
 func (s *SignatureCube) OpenScan(ctx context.Context, cond Cond, f Func, opts ...Option) (*GovernedScanner, error) {
 	cfg := applyOptions(opts)
+	// The scanner reads the cube progressively until Close, so it is
+	// admitted through the gate and holds the shared lock for its whole
+	// lifetime — maintenance waits for open scans to finish. Close releases
+	// both.
+	unlock, err := guard.AcquireShared(ctx, []*guard.RW{s.c.Ctl()})
+	if err != nil {
+		obs.Default().Counter("queries.sig.scan." + string(classifyOutcome(err, false))).Add(1)
+		return nil, err
+	}
 	m := ensureMetrics(cfg.metrics)
 	if cfg.trace != nil {
 		m.SetObserver(cfg.trace)
@@ -260,11 +329,12 @@ func (s *SignatureCube) OpenScan(ctx context.Context, cond Cond, f Func, opts ..
 		if cfg.trace != nil {
 			m.DetachObserver(cfg.trace)
 		}
+		unlock()
 		obs.Default().Counter("queries.sig.scan." + string(classifyOutcome(err, false))).Add(1)
 		return nil, err
 	}
 	obs.Default().Counter("queries.sig.scan.ok").Add(1)
-	return &GovernedScanner{s: sc, m: m, g: gov, tr: cfg.trace}, nil
+	return &GovernedScanner{s: sc, m: m, g: gov, tr: cfg.trace, unlock: unlock}, nil
 }
 
 // MergeQuery answers a top-k query whose function spans several
@@ -303,6 +373,15 @@ func MergeQuery(ctx context.Context, rel *Relation, indices []Index, f Func, k i
 // join over sequential scans of the participating relations.
 func JoinQuery(ctx context.Context, parts []JoinPart, k int, opts ...Option) ([]JoinResult, error) {
 	cfg := applyOptions(opts)
+	// A join spans several cubes; their controls are acquired in the
+	// process-wide ascending-ID order (guard.Order) so two joins over
+	// overlapping relation sets can never deadlock against a waiting
+	// writer.
+	for _, p := range parts {
+		if p.Rel != nil && p.Rel.Cube != nil {
+			cfg.ctls = append(cfg.ctls, p.Rel.Cube.Ctl())
+		}
+	}
 	q := joinquery.Query{Parts: parts, K: k}
 	return runQuery(ctx, "join.topk", cfg,
 		func(m *Metrics) ([]JoinResult, error) { return joinquery.Execute(q, joinquery.Options{}, m) },
@@ -317,6 +396,7 @@ func JoinQuery(ctx context.Context, parts []JoinPart, k int, opts ...Option) ([]
 // instead of reusing the candidate basis.
 func (s *SkylineEngine) Query(ctx context.Context, cond Cond, dims []int, target []float64, opts ...Option) ([]SkylineResult, *SkylineSnapshot, error) {
 	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{s.e.Cube().Ctl()}
 	q := skyline.Query{Cond: cond, Dims: dims, Target: target}
 	out, err := runQuery(ctx, "skyline", cfg,
 		func(m *Metrics) (skyOut, error) {
@@ -338,6 +418,7 @@ func (s *SkylineEngine) DrillDownQuery(ctx context.Context, prev *SkylineSnapsho
 		return nil, nil, fmt.Errorf("rankcube: drill-down requires a previous snapshot: %w", errs.ErrInvalidArgument)
 	}
 	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{s.e.Cube().Ctl()}
 	out, err := runQuery(ctx, "skyline.drilldown", cfg,
 		func(m *Metrics) (skyOut, error) {
 			res, snap, err := s.e.DrillDown(prev, extra, m)
@@ -362,6 +443,7 @@ func (s *SkylineEngine) RollUpQuery(ctx context.Context, prev *SkylineSnapshot, 
 		return nil, nil, fmt.Errorf("rankcube: roll-up requires a previous snapshot: %w", errs.ErrInvalidArgument)
 	}
 	cfg := applyOptions(opts)
+	cfg.ctls = []*guard.RW{s.e.Cube().Ctl()}
 	out, err := runQuery(ctx, "skyline.rollup", cfg,
 		func(m *Metrics) (skyOut, error) {
 			res, snap, err := s.e.RollUp(prev, removeDims, m)

@@ -271,17 +271,37 @@ func (g *GridCube) TopK(cond Cond, f Func, k int, m *Metrics) ([]Result, error) 
 
 // Insert adds a tuple into the cube using the pre-computed partition
 // (thesis §1.3.1); call Repartition periodically to restore balance.
-func (g *GridCube) Insert(sel []int32, rank []float64) TID { return g.c.Insert(sel, rank) }
+// Maintenance is single-writer: it holds the cube's serving control
+// exclusively, waiting out in-flight queries and excluding new ones.
+func (g *GridCube) Insert(sel []int32, rank []float64) TID {
+	g.c.Ctl().Lock()
+	defer g.c.Ctl().Unlock()
+	return g.c.Insert(sel, rank)
+}
 
-// Delete tombstones a tuple until the next Repartition.
-func (g *GridCube) Delete(tid TID) bool { return g.c.Delete(tid) }
+// Delete tombstones a tuple until the next Repartition, with the same
+// single-writer discipline as Insert.
+func (g *GridCube) Delete(tid TID) bool {
+	g.c.Ctl().Lock()
+	defer g.c.Ctl().Unlock()
+	return g.c.Delete(tid)
+}
 
 // PendingMaintenance reports accumulated inserts plus tombstones.
-func (g *GridCube) PendingMaintenance() int { return g.c.PendingMaintenance() }
+func (g *GridCube) PendingMaintenance() int {
+	g.c.Ctl().RLock()
+	defer g.c.Ctl().RUnlock()
+	return g.c.PendingMaintenance()
+}
 
 // Repartition rebuilds the cube over the surviving tuples, returning the
-// old-to-new tuple id mapping when deletions compacted the relation.
-func (g *GridCube) Repartition() map[TID]TID { return g.c.Repartition() }
+// old-to-new tuple id mapping when deletions compacted the relation. It
+// holds the serving control exclusively for the whole rebuild.
+func (g *GridCube) Repartition() map[TID]TID {
+	g.c.Ctl().Lock()
+	defer g.c.Ctl().Unlock()
+	return g.c.Repartition()
+}
 
 // GroupsFromWorkload derives a fragment grouping from a query history
 // (thesis §3.6.2): dimensions frequently queried together share a fragment
@@ -297,7 +317,11 @@ func GroupsByCardinality(schema Schema, f, threshold int) [][]int {
 }
 
 // SizeBytes reports the materialized footprint.
-func (g *GridCube) SizeBytes() int64 { return g.c.SizeBytes() }
+func (g *GridCube) SizeBytes() int64 {
+	g.c.Ctl().RLock()
+	defer g.c.Ctl().RUnlock()
+	return g.c.SizeBytes()
+}
 
 // ---------------------------------------------------------------------------
 // Signature ranking cube (chapter 4)

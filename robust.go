@@ -25,6 +25,8 @@ type PageStore = pager.Store
 // Stores returns the cube's page stores (one per materialized cuboid, plus
 // the base block table) for fault injection and quarantine management.
 func (g *GridCube) Stores() []*PageStore {
+	g.c.Ctl().RLock()
+	defer g.c.Ctl().RUnlock()
 	var out []*PageStore
 	for _, cb := range g.c.Cuboids() {
 		out = append(out, cb.Store())
@@ -56,6 +58,12 @@ var (
 	// ErrInvalidArgument: the request itself was malformed (bad schema,
 	// missing snapshot, unsupported operation). Never degrades.
 	ErrInvalidArgument = errs.ErrInvalidArgument
+	// ErrOverloaded: the cube's admission gate refused the query — serving
+	// capacity saturated, wait queue full, the query's deadline would have
+	// expired before a slot freed, or the cube is draining. Never degrades:
+	// shedding load by running a full baseline scan would make the overload
+	// worse. Retry later.
+	ErrOverloaded = errs.ErrOverloaded
 )
 
 // Budget bounds one query's resource consumption and configures its
@@ -203,6 +211,9 @@ type GovernedScanner struct {
 	m  *Metrics
 	g  *governor.Governor
 	tr *obs.Trace
+	// unlock releases the cube's shared serving lock and admission slot the
+	// scanner has held since OpenScan; nil after Close has run once.
+	unlock func()
 }
 
 // ScanCtx is OpenScan with an explicit Budget and Metrics.
@@ -226,7 +237,9 @@ func (g *GovernedScanner) Next() (res Result, ok bool, err error) {
 }
 
 // Close releases the scan's governor (and trace, if any) from its metrics
-// collector. Close is idempotent, and detachment is ownership-guarded: if
+// collector, and releases the cube's shared serving lock and admission
+// slot held since OpenScan — maintenance blocked behind the scan may then
+// proceed. Close is idempotent, and detachment is ownership-guarded: if
 // the shared Metrics has since been attached to another query or scanner,
 // a late Close does not strip the successor's governor.
 func (g *GovernedScanner) Close() {
@@ -234,5 +247,9 @@ func (g *GovernedScanner) Close() {
 	if g.tr != nil {
 		g.m.DetachObserver(g.tr)
 		g.tr.Finish()
+	}
+	if g.unlock != nil {
+		g.unlock()
+		g.unlock = nil
 	}
 }
