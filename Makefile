@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos check bench bench-json clean
+.PHONY: all build vet lint lint-json test race chaos check bench bench-json clean
 
 all: check
 
@@ -13,10 +13,19 @@ vet:
 	$(GO) vet ./...
 
 # rankvet (cmd/rankvet, analyzers in internal/analysis) mechanically
-# enforces the engine safety invariants: no raw panics, threaded contexts,
-# governed page reads, typed errors at the public boundary.
+# enforces the engine safety invariants: no raw panics, threaded contexts
+# (struct stashes included), governed page reads, typed errors at the
+# public boundary, guard lock discipline, closed scans, and unmixed
+# atomics. -stats surfaces per-analyzer wall clock and the loader's
+# export-data cache hit/miss counts, so a cache regression (stdlib
+# re-type-checks creeping back) is visible in CI logs.
 lint:
-	$(GO) run ./cmd/rankvet ./...
+	$(GO) run ./cmd/rankvet -stats ./...
+
+# Machine-readable findings: one JSON object per line on stdout
+# (file/line/col/analyzer/message), for editors and CI annotators.
+lint-json:
+	$(GO) run ./cmd/rankvet -json ./...
 
 test:
 	$(GO) test ./...

@@ -14,6 +14,7 @@
 package analysistest
 
 import (
+	"fmt"
 	"go/scanner"
 	"go/token"
 	"path/filepath"
@@ -48,18 +49,23 @@ func TestData() string {
 // Run loads each fixture package from <testdata>/src/<path>, applies the
 // analyzer, and checks its diagnostics against the fixtures' want
 // comments.
+//
+// One fact store spans all listed paths, mirroring the driver: list a
+// fixture's dependency before its dependent and facts the analyzer exports
+// on the dependency are visible when the dependent is analyzed.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
 	t.Helper()
 	srcRoot := filepath.Join(testdata, "src")
 	mu.Lock()
 	defer mu.Unlock()
+	facts := framework.NewFactStore()
 	for _, path := range paths {
 		pkg, err := shared.LoadOverlay(srcRoot, path)
 		if err != nil {
 			t.Errorf("loading fixture %s: %v", path, err)
 			continue
 		}
-		diags, err := runOne(pkg, a)
+		diags, err := runOne(pkg, a, facts)
 		if err != nil {
 			t.Errorf("%s on %s: %v", a.Name, path, err)
 			continue
@@ -68,16 +74,9 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) 
 	}
 }
 
-func runOne(pkg *framework.Package, a *framework.Analyzer) ([]framework.Diagnostic, error) {
+func runOne(pkg *framework.Package, a *framework.Analyzer, facts *framework.FactStore) ([]framework.Diagnostic, error) {
 	var diags []framework.Diagnostic
-	pass := &framework.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
-	}
+	pass := framework.NewPass(a, pkg, facts, func(d framework.Diagnostic) { diags = append(diags, d) })
 	return diags, a.Run(pass)
 }
 
@@ -124,7 +123,8 @@ func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnost
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s%s",
+				pos.Filename, pos.Line, pos.Column, d.Message, nearestWant(wants, pos))
 		}
 	}
 	for _, w := range wants {
@@ -132,6 +132,30 @@ func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnost
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
 		}
 	}
+}
+
+// nearestWant describes the unmatched expectation closest to pos in the
+// same file, so an off-by-one-line or regexp-mismatch failure points
+// straight at the expectation it was probably meant to satisfy.
+func nearestWant(wants []*want, pos token.Position) string {
+	var best *want
+	bestDist := -1
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename {
+			continue
+		}
+		dist := w.line - pos.Line
+		if dist < 0 {
+			dist = -dist
+		}
+		if best == nil || dist < bestDist {
+			best, bestDist = w, dist
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	return fmt.Sprintf(" (nearest unmatched want at line %d: %q)", best.line, best.re)
 }
 
 // splitQuoted extracts the double-quoted regexp literals of a want comment.

@@ -1,0 +1,46 @@
+// Package atoma defines a counter updated via sync/atomic. Plain accesses
+// to it — here and in the dependent package atomb — must be flagged; the
+// cross-package case travels as an object fact on the field.
+package atoma
+
+import "sync/atomic"
+
+// S carries one atomically-updated counter, one plain field, and one typed
+// atomic (safe by construction).
+type S struct {
+	N     int64
+	Plain int64
+	Typed atomic.Int64
+}
+
+// New initializes via a composite literal: the value is unpublished, so
+// this is not an access and never flagged.
+func New() *S { return &S{N: 0, Plain: 0} }
+
+// Inc is the atomic update that forbids plain access everywhere.
+func Inc(s *S) { atomic.AddInt64(&s.N, 1) }
+
+// Get reads atomically: fine.
+func Get(s *S) int64 { return atomic.LoadInt64(&s.N) }
+
+// TypedInc uses the typed atomic: no address-of, nothing to track.
+func TypedInc(s *S) { s.Typed.Add(1) }
+
+// MixedRead reads the counter plainly in the defining package.
+func MixedRead(s *S) int64 {
+	return s.N // want `field atoma.N is updated via sync/atomic elsewhere`
+}
+
+// MixedWrite resets it plainly.
+func MixedWrite(s *S) {
+	s.N = 0 // want `field atoma.N is updated via sync/atomic elsewhere`
+}
+
+// PlainOK touches the never-atomic field.
+func PlainOK(s *S) int64 { return s.Plain }
+
+// MarkedRead is a justified post-join read.
+func MarkedRead(s *S) int64 {
+	//lint:atomicmix fixture: every writer has joined before this read
+	return s.N
+}

@@ -1,0 +1,26 @@
+// Package atomb accesses atoma's counter plainly. No sync/atomic call
+// appears in this package at all: the findings exist only because the
+// analyzer imported the field's atomic-use fact exported while analyzing
+// atoma.
+package atomb
+
+import "atoma"
+
+// CrossRead races with atoma.Inc.
+func CrossRead(s *atoma.S) int64 {
+	return s.N // want `field atoma.N is updated via sync/atomic elsewhere`
+}
+
+// CrossWrite races too.
+func CrossWrite(s *atoma.S) {
+	s.N = 1 // want `field atoma.N is updated via sync/atomic elsewhere`
+}
+
+// CrossPlain touches the never-atomic field: clean.
+func CrossPlain(s *atoma.S) int64 { return s.Plain }
+
+// CrossMarked is a justified access.
+func CrossMarked(s *atoma.S) int64 {
+	//lint:atomicmix fixture: single-threaded test helper
+	return s.N
+}

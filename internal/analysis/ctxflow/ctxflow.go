@@ -17,6 +17,15 @@
 // Library packages (rankcube/internal/...) may not mint fresh contexts at
 // all outside that shape; the public root package's legacy wrappers (TopK
 // delegating to TopKCtx) are the documented bridge and remain allowed.
+//
+// A third bug shape hides a context in a struct: a context.Context struct
+// field outlives the call that stored it, so cancellation silently follows
+// the stale stashed context instead of the live caller. Library packages
+// may not declare such fields without a `//lint:ctxfield <reason>` marker
+// naming why the stash is scoped correctly (the query governor's
+// per-query carrier is the exemplar). Reading a stashed context while a
+// caller's ctx parameter is in scope is flagged unconditionally — that is
+// the stale-context bug in the act, and the fix is to use the parameter.
 package ctxflow
 
 import (
@@ -33,10 +42,16 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "ctxflow",
 	Doc: "forbids context.Background()/context.TODO() where a caller context is in scope " +
-		"(or anywhere in library packages, nil-fallback assignments excepted) and flags " +
-		"ctx parameters that are accepted but never consulted",
+		"(or anywhere in library packages, nil-fallback assignments excepted), flags " +
+		"ctx parameters that are accepted but never consulted, and flags contexts " +
+		"stashed in struct fields (mark //lint:ctxfield <reason>) or read from a field " +
+		"while a caller ctx is in scope",
 	Run: run,
 }
+
+// FieldMarker is the justification marker for a context.Context struct
+// field whose lifetime is argued sound (e.g. a strictly per-query carrier).
+const FieldMarker = "ctxfield"
 
 const libraryPrefix = "rankcube/internal/"
 
@@ -45,8 +60,88 @@ func run(pass *framework.Pass) error {
 	for _, file := range pass.Files {
 		checkMints(pass, file, library)
 		checkDroppedParams(pass, file)
+		if library {
+			checkCtxFields(pass, file)
+		}
+		checkFieldReads(pass, file)
 	}
 	return nil
+}
+
+// checkCtxFields flags context.Context struct fields in library packages:
+// a stashed context outlives the call that stored it. The //lint:ctxfield
+// marker on the field documents the cases whose lifetime is sound.
+func checkCtxFields(pass *framework.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok || !framework.IsNamed(tv.Type, "context", "Context") {
+				continue
+			}
+			if pass.Marked(field, FieldMarker) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"context.Context stored in a struct field outlives the call that stored it: pass ctx as a parameter, or mark //lint:ctxfield <reason>")
+		}
+		return true
+	})
+}
+
+// checkFieldReads flags reads of a stashed context field inside a function
+// that has its own ctx parameter: the live caller context must win over
+// whatever was stored earlier. Writes (stashing the parameter) are the
+// field's purpose and stay allowed.
+func checkFieldReads(pass *framework.Pass, file *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal ||
+			!framework.IsNamed(selection.Obj().Type(), "context", "Context") {
+			return true
+		}
+		if isAssignTarget(stack, sel) || enclosingCtxParam(pass, stack) == nil {
+			return true
+		}
+		if pass.Marked(sel, FieldMarker) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"reading stashed context field %s while a caller ctx parameter is in scope: use the parameter (the stash may be stale), or mark //lint:ctxfield <reason>",
+			types.ExprString(sel))
+		return true
+	})
+}
+
+// isAssignTarget reports whether sel is a left-hand side of its enclosing
+// assignment (a write to the field, not a read of the stash).
+func isAssignTarget(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	assign, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range assign.Lhs {
+		if ast.Unparen(lhs) == sel {
+			return true
+		}
+	}
+	return false
 }
 
 // checkMints walks file tracking the enclosing-node stack and reports

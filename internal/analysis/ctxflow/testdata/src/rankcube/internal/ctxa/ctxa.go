@@ -8,7 +8,37 @@ import (
 	"time"
 )
 
-type config struct{ ctx context.Context }
+type config struct {
+	ctx context.Context // want `context.Context stored in a struct field`
+}
+
+// blessed carries a context with a documented lifetime argument: the
+// //lint:ctxfield marker suppresses the field-stash finding.
+type blessed struct {
+	//lint:ctxfield fixture: per-call carrier
+	ctx context.Context
+}
+
+// StashParam stores the caller's ctx in a field — a write, which is the
+// field's purpose and must stay clean (the declaration already carries the
+// finding).
+func StashParam(ctx context.Context) *blessed {
+	b := &blessed{}
+	b.ctx = ctx
+	return b
+}
+
+// StaleRead reads the stashed context while a live caller ctx is in scope.
+func StaleRead(ctx context.Context, b *blessed) error {
+	_ = ctx.Err()
+	return Threaded(b.ctx) // want `reading stashed context field b.ctx while a caller ctx parameter is in scope`
+}
+
+// StashRead reads the stash with no caller ctx in scope: that is what the
+// stash is for.
+func StashRead(b *blessed) error {
+	return Threaded(b.ctx)
+}
 
 // Threaded consults its ctx: no findings.
 func Threaded(ctx context.Context) error {

@@ -4,10 +4,13 @@
 //
 // The build environment of this repository is hermetic — no module proxy —
 // so x/tools cannot be vendored; this package mirrors its API shape
-// (Analyzer, Pass, Reportf) closely enough that the analyzers in the
-// sibling packages can be ported to the real framework mechanically if the
-// dependency ever becomes available. Only the subset the rankvet suite
-// needs is implemented: no facts, no modular analysis, no SSA.
+// (Analyzer, Pass, Reportf, object/package facts) closely enough that the
+// analyzers in the sibling packages can be ported to the real framework
+// mechanically if the dependency ever becomes available. Beyond the
+// original subset, the framework now carries in-memory facts (facts.go)
+// for cross-package propagation and loads dependency type information
+// from compiler export data (loader.go) instead of re-type-checking the
+// standard library from source on every run.
 package framework
 
 import (
@@ -34,12 +37,32 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the analyzer's private cross-package fact store, shared by
+	// every pass of the same analyzer within one driver run. Nil disables
+	// fact propagation (the Import/Export methods become no-ops).
+	Facts *FactStore
+
 	// Report delivers one diagnostic. The driver fills in the Analyzer
 	// field and aggregates across packages.
 	Report func(Diagnostic)
 
-	// markers caches per-file //lint: markers, built on first use.
-	markers map[*ast.File]map[int]string
+	// markers caches the per-file marker index, built on first use.
+	markers map[*ast.File][]markedNode
+}
+
+// NewPass assembles a pass over pkg for a. The driver and the analysistest
+// harness both construct passes through here so the fact store and report
+// sink are wired uniformly.
+func NewPass(a *Analyzer, pkg *Package, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Facts:     facts,
+		Report:    report,
+	}
 }
 
 // A Diagnostic is one finding, anchored to a source position.
@@ -55,42 +78,96 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // MarkerPrefix introduces a suppression/justification marker comment:
-// `//lint:<name> <reason>`. Markers are deliberately per-line — a marker
-// blesses exactly one statement, never a region.
+// `//lint:<name> <reason>`. A marker blesses exactly one statement (or
+// struct field / declaration spec), never a region.
 const MarkerPrefix = "lint:"
 
-// Marked reports whether node carries the given //lint:<name> marker: a
-// marker comment on the node's line, or one whose comment group ends on
-// the line immediately above (the conventional placement).
+// markedNode is one marker attachment: the AST node a //lint: comment is
+// bound to, and the marker's name.
+type markedNode struct {
+	node ast.Node
+	name string
+}
+
+// Marked reports whether node carries the given //lint:<name> marker.
+//
+// Markers are attached to AST nodes, not source lines: each //lint:
+// comment is bound — via ast.NewCommentMap, i.e. the standard trailing- or
+// doc-comment association — to the statement (or struct field, or
+// declaration spec) it documents, and a node is Marked when an attached
+// statement spans it. Reformatting that moves a statement across lines
+// therefore cannot detach its marker: the comment travels with the
+// statement in the AST, wherever the statement's text lands. The flagged
+// call deep inside a multi-line statement is still blessed by the marker
+// on the statement itself.
 func (p *Pass) Marked(node ast.Node, name string) bool {
 	file := p.FileOf(node)
 	if file == nil {
 		return false
 	}
-	if p.markers == nil {
-		p.markers = make(map[*ast.File]map[int]string)
+	for _, m := range p.markerIndex(file) {
+		if m.name != name {
+			continue
+		}
+		if m.node.Pos() <= node.Pos() && node.Pos() < m.node.End() {
+			return true
+		}
 	}
-	byLine, ok := p.markers[file]
-	if !ok {
-		byLine = make(map[int]string)
-		for _, cg := range file.Comments {
+	return false
+}
+
+// markerIndex builds (once per file) the list of marker attachments:
+// every //lint: comment in the file, bound to its associated statement,
+// field, or spec.
+func (p *Pass) markerIndex(file *ast.File) []markedNode {
+	if p.markers == nil {
+		p.markers = make(map[*ast.File][]markedNode)
+	}
+	if idx, ok := p.markers[file]; ok {
+		return idx
+	}
+	idx := []markedNode{}
+	cmap := ast.NewCommentMap(p.Fset, file, file.Comments)
+	for node, groups := range cmap {
+		if !markerAttachable(node) {
+			continue
+		}
+		for _, cg := range groups {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, MarkerPrefix) {
-					continue
+				if name, ok := markerName(c.Text); ok {
+					idx = append(idx, markedNode{node: node, name: name})
 				}
-				marker := strings.TrimPrefix(text, MarkerPrefix)
-				if i := strings.IndexAny(marker, " \t"); i >= 0 {
-					marker = marker[:i]
-				}
-				byLine[p.Fset.Position(c.Pos()).Line] = marker
 			}
 		}
-		p.markers[file] = byLine
 	}
-	line := p.Fset.Position(node.Pos()).Line
-	return byLine[line] == name || byLine[line-1] == name
+	p.markers[file] = idx
+	return idx
+}
+
+// markerAttachable reports whether a marker may bind to node: statements,
+// struct fields, and declaration specs (a `var x = …` group). Broader
+// nodes — whole functions, whole files — are deliberately excluded so a
+// marker can never bless a region.
+func markerAttachable(node ast.Node) bool {
+	switch node.(type) {
+	case ast.Stmt, *ast.Field, ast.Spec, *ast.GenDecl:
+		return true
+	}
+	return false
+}
+
+// markerName extracts the marker name of a `//lint:<name> <reason>`
+// comment, reporting ok=false for non-marker comments.
+func markerName(comment string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, MarkerPrefix) {
+		return "", false
+	}
+	name := strings.TrimPrefix(text, MarkerPrefix)
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	return name, name != ""
 }
 
 // FileOf returns the *ast.File of the pass containing node, or nil.

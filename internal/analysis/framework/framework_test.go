@@ -1,0 +1,119 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parsePass builds a types-free Pass over src — Marked consults only the
+// file set and syntax, so no type checking is needed.
+func parsePass(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "marked.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{Analyzer: &Analyzer{Name: "test"}, Fset: fset, Files: []*ast.File{file}}
+}
+
+// callNamed finds the call whose single argument is the integer literal
+// arg — a stable way to address specific calls in fixture source.
+func callNamed(t *testing.T, p *Pass, arg string) *ast.CallExpr {
+	t.Helper()
+	var found *ast.CallExpr
+	ast.Inspect(p.Files[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Value == arg {
+			found = call
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no call with argument %s", arg)
+	}
+	return found
+}
+
+// TestMarkerSurvivesReformat is the regression for the line-based marker
+// scheme this framework replaced: the marked statement is spread over
+// several lines, so the flagged call sits two lines below the marker
+// comment. A marker matched by line number would miss it; the AST-attached
+// marker travels with the statement regardless of how gofmt lays it out.
+func TestMarkerSurvivesReformat(t *testing.T) {
+	p := parsePass(t, `package p
+
+func f() int {
+	//lint:demo the whole statement is blessed
+	x :=
+		g(1) +
+			g(2)
+	y := g(3)
+	return x + y
+}
+
+func g(n int) int { return n }
+`)
+	blessed := callNamed(t, p, "1")
+	if line := p.Fset.Position(blessed.Pos()).Line; line != 6 {
+		t.Fatalf("fixture drifted: g(1) on line %d, want 6 (two below the marker)", line)
+	}
+	if !p.Marked(blessed, "demo") {
+		t.Errorf("g(1) two lines below its statement's marker is not Marked — marker did not travel with the statement")
+	}
+	if !p.Marked(callNamed(t, p, "2"), "demo") {
+		t.Errorf("g(2) inside the marked statement is not Marked")
+	}
+	if p.Marked(callNamed(t, p, "3"), "demo") {
+		t.Errorf("g(3) in the next statement is Marked — marker leaked past its statement")
+	}
+}
+
+// TestMarkerDoesNotBlessRegion: a //lint: comment sitting as a function's
+// doc comment attaches to the declaration, which is not an attachable
+// marker node — it must not bless every statement in the body.
+func TestMarkerDoesNotBlessRegion(t *testing.T) {
+	p := parsePass(t, `package p
+
+//lint:demo this must not bless the whole function
+func f() int {
+	return g(1)
+}
+
+func g(n int) int { return n }
+`)
+	if p.Marked(callNamed(t, p, "1"), "demo") {
+		t.Errorf("call inside a function whose doc comment carries a marker is Marked — markers must not bless regions")
+	}
+}
+
+// TestMarkerNameScoping: a marker only answers for its own name, and
+// malformed markers (bare prefix) attach to nothing.
+func TestMarkerNameScoping(t *testing.T) {
+	p := parsePass(t, `package p
+
+func f() int {
+	//lint:other justified for a different analyzer
+	a := g(1)
+	//lint:
+	b := g(2)
+	return a + b
+}
+
+func g(n int) int { return n }
+`)
+	if p.Marked(callNamed(t, p, "1"), "demo") {
+		t.Errorf("marker name %q answered for %q", "other", "demo")
+	}
+	if !p.Marked(callNamed(t, p, "1"), "other") {
+		t.Errorf("marker does not answer for its own name")
+	}
+	if p.Marked(callNamed(t, p, "2"), "") {
+		t.Errorf("nameless marker comment attached")
+	}
+}

@@ -1,0 +1,296 @@
+// Package lockorder enforces the concurrent-serving lock discipline around
+// internal/guard — the deadlock-freedom and liveness argument of PR 9,
+// checked instead of asserted.
+//
+// Three rules, each matching one way the argument breaks:
+//
+//  1. A direct (*guard.RW).Lock or RLock must be released by an
+//     immediately following defer of the matching Unlock/RUnlock on the
+//     same control expression. Guard critical sections run engine code
+//     that faults via typed aborts (panics), so a non-deferred release is
+//     one storage fault away from wedging the cube: the lock is never
+//     released, maintenance blocks forever, and Drain starves.
+//  2. One function may lock at most one control directly. Multi-structure
+//     operations (the rank join) must go through guard.AcquireShared /
+//     guard.LockExclusive, which sort by the global ordering ID — two
+//     direct acquisitions in one frame are exactly the cycle the global
+//     order exists to prevent.
+//  3. The release closure returned by guard.AcquireShared /
+//     guard.LockExclusive must be consumed: deferred, invoked, stored, or
+//     passed along. A dropped release keeps the serving slots and shared
+//     locks held for the life of the process.
+//
+// Justified exceptions carry a `//lint:lockorder <reason>` marker.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rankcube/internal/analysis/framework"
+)
+
+const guardPath = "rankcube/internal/guard"
+
+// Marker is the justification marker accepted on exempted acquisitions.
+const Marker = "lockorder"
+
+// Analyzer enforces guard acquisition/release discipline.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "guard.RW acquisitions must defer their release immediately (panic-safe), " +
+		"multi-control locking must go through guard.AcquireShared/LockExclusive " +
+		"(global ID order), and returned release closures must be consumed",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Path() == guardPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// functionBodies collects every function body in file — declarations and
+// literals alike. Each body is analyzed as its own frame: a deferred
+// release inside a closure runs when the closure returns, so acquisitions
+// must balance per frame, not per declaration.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, fn.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// inspectFrame walks body, skipping nested function literals (they are
+// separate frames; functionBodies collects them independently).
+func inspectFrame(body *ast.BlockStmt, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return f(n)
+	})
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	checkDirectAcquires(pass, body)
+	checkReleaseClosures(pass, body)
+}
+
+// guardCall resolves call to a (*guard.RW) method, returning the method
+// name and the rendered control expression ("" when call is not one).
+func guardCall(pass *framework.Pass, call *ast.CallExpr) (method, ctl string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal || !framework.IsNamed(selection.Recv(), guardPath, "RW") {
+		return "", ""
+	}
+	return sel.Sel.Name, types.ExprString(sel.X)
+}
+
+var releaseOf = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkDirectAcquires applies rules 1 and 2 to Lock/RLock calls appearing
+// as statements of this frame.
+func checkDirectAcquires(pass *framework.Pass, body *ast.BlockStmt) {
+	type acquire struct {
+		call *ast.CallExpr
+		ctl  string
+	}
+	var acquires []acquire
+	inspectFrame(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			expr, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := expr.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			method, ctl := guardCall(pass, call)
+			release, isAcquire := releaseOf[method]
+			if !isAcquire {
+				continue
+			}
+			if pass.Marked(call, Marker) {
+				continue
+			}
+			acquires = append(acquires, acquire{call, ctl})
+			if !deferredReleaseFollows(pass, block.List[i+1:], release, ctl) {
+				pass.Reportf(call.Pos(),
+					"guard %s of %s is not released by an immediately following defer: an abort inside the critical section wedges the cube (use `defer %s.%s()`, or mark //lint:lockorder <reason>)",
+					method, ctl, ctl, release)
+			}
+		}
+		return true
+	})
+	// Rule 2: two direct acquisitions in one frame bypass the global order.
+	for i := 1; i < len(acquires); i++ {
+		if acquires[i].ctl != acquires[0].ctl {
+			pass.Reportf(acquires[i].call.Pos(),
+				"direct lock of a second guard control (%s after %s) in one function: acquire multiple controls through guard.AcquireShared/LockExclusive so the global ID order holds, or mark //lint:lockorder <reason>",
+				acquires[i].ctl, acquires[0].ctl)
+		}
+	}
+}
+
+// deferredReleaseFollows reports whether the next statement defers
+// release on the same control expression.
+func deferredReleaseFollows(pass *framework.Pass, rest []ast.Stmt, release, ctl string) bool {
+	if len(rest) == 0 {
+		return false
+	}
+	def, ok := rest[0].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	method, gotCtl := guardCall(pass, def.Call)
+	return method == release && gotCtl == ctl
+}
+
+// checkReleaseClosures applies rule 3 to guard.AcquireShared and
+// guard.LockExclusive calls.
+func checkReleaseClosures(pass *framework.Pass, body *ast.BlockStmt) {
+	inspectFrame(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := guardHelper(pass, call)
+		if name == "" || pass.Marked(call, Marker) {
+			return true
+		}
+		if releaseConsumed(pass, body, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"the release closure returned by guard.%s is never consumed: every acquisition must be released on all paths (defer it), or mark //lint:lockorder <reason>", name)
+		return true
+	})
+}
+
+// guardHelper resolves call to guard.AcquireShared or guard.LockExclusive.
+func guardHelper(pass *framework.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != guardPath {
+		return ""
+	}
+	if fn.Name() == "AcquireShared" || fn.Name() == "LockExclusive" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// releaseConsumed reports whether the release closure produced by call is
+// used: invoked in place (`defer guard.LockExclusive(x)()` or an immediate
+// call), or bound to a variable that is referenced again anywhere in the
+// frame (deferred, invoked, returned, stored, or passed along — any later
+// reference transfers responsibility, matching how OpenScan hands its
+// release to the scanner it returns).
+func releaseConsumed(pass *framework.Pass, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	consumed := false
+	inspectFrame(body, func(n ast.Node) bool {
+		if consumed {
+			return false
+		}
+		switch parent := n.(type) {
+		case *ast.CallExpr:
+			// guard.LockExclusive(x)() — the helper call is itself invoked —
+			// or the release is passed straight to another function.
+			if ast.Unparen(parent.Fun) == call {
+				consumed = true
+			}
+			for _, arg := range parent.Args {
+				if ast.Unparen(arg) == call {
+					consumed = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			// Stored directly into a struct literal (the OpenScan shape).
+			if ast.Unparen(parent.Value) == call {
+				consumed = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) != call {
+					continue
+				}
+				// Single call, possibly multi-value: the release is the
+				// first LHS. A blank identifier drops it.
+				if i < len(parent.Lhs) {
+					if obj := lhsObject(pass, parent.Lhs[i]); obj != nil {
+						consumed = referencedAgain(pass, body, obj, parent)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range parent.Results {
+				if ast.Unparen(res) == call {
+					consumed = true
+				}
+			}
+		}
+		return true
+	})
+	return consumed
+}
+
+// lhsObject resolves an assignment target identifier to its object.
+func lhsObject(pass *framework.Pass, lhs ast.Expr) types.Object {
+	ident, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || ident.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[ident]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[ident]
+}
+
+// referencedAgain reports whether obj is referenced anywhere in the frame
+// other than its binding assignment.
+func referencedAgain(pass *framework.Pass, body *ast.BlockStmt, obj types.Object, binding *ast.AssignStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == binding {
+			return !found && n != binding
+		}
+		if ident, ok := n.(*ast.Ident); ok && (pass.TypesInfo.Uses[ident] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

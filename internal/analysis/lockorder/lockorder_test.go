@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"rankcube/internal/analysis/analysistest"
+	"rankcube/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer,
+		"rankcube/internal/guard",
+		"rankcube/internal/locka",
+	)
+}

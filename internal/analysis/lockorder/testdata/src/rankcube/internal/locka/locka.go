@@ -1,0 +1,134 @@
+// Package locka exercises the lockorder analyzer: direct guard
+// acquisitions must defer their release immediately, one frame may lock
+// one control directly, and the release closures returned by the guard
+// helpers must be consumed.
+package locka
+
+import (
+	"context"
+
+	"rankcube/internal/guard"
+)
+
+func work() int { return 1 }
+
+// Deferred is the blessed direct exclusive shape.
+func Deferred(ctl *guard.RW) int {
+	ctl.Lock()
+	defer ctl.Unlock()
+	return work()
+}
+
+// DeferredShared is the blessed direct shared shape.
+func DeferredShared(ctl *guard.RW) int {
+	ctl.RLock()
+	defer ctl.RUnlock()
+	return work()
+}
+
+// Manual releases by hand: an abort inside work never reaches the Unlock.
+func Manual(ctl *guard.RW) int {
+	ctl.Lock() // want `guard Lock of ctl is not released by an immediately following defer`
+	n := work()
+	ctl.Unlock()
+	return n
+}
+
+// Mismatched defers the wrong release for the acquisition.
+func Mismatched(ctl *guard.RW) {
+	ctl.RLock() // want `guard RLock of ctl is not released by an immediately following defer`
+	defer ctl.Unlock()
+}
+
+// TwoControls locks a second control directly: the global ID order cannot
+// be enforced frame-locally, so multi-control locking must go through the
+// helpers.
+func TwoControls(a, b *guard.RW) {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock() // want `direct lock of a second guard control`
+	defer b.Unlock()
+}
+
+// SameControlTwice relocks the one control it already holds — not a rule-2
+// ordering violation (single control), though each acquisition still needs
+// its defer.
+func SameControlTwice(ctl *guard.RW) {
+	ctl.RLock()
+	defer ctl.RUnlock()
+	ctl.RLock()
+	defer ctl.RUnlock()
+}
+
+// Marked carries a justification and is exempt from both direct-acquire
+// rules.
+func Marked(ctl *guard.RW) {
+	//lint:lockorder fixture: released by the paired helper on every path
+	ctl.Lock()
+}
+
+// ClosureFrames hold their own discipline: the literal's acquisition
+// balances inside the literal.
+func ClosureFrames(ctl *guard.RW) {
+	func() {
+		ctl.Lock()
+		defer ctl.Unlock()
+		work()
+	}()
+}
+
+// HelperDeferred consumes the release closure through a binding and a
+// defer — the canonical runQuery shape.
+func HelperDeferred(ctx context.Context, gs []*guard.RW) (int, error) {
+	release, err := guard.AcquireShared(ctx, gs)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return work(), nil
+}
+
+// HelperInPlace invokes the helper's release via an immediate defer.
+func HelperInPlace(gs []*guard.RW) int {
+	defer guard.LockExclusive(gs)()
+	return work()
+}
+
+// HelperDropped discards the release closure: the locks are held forever.
+func HelperDropped(gs []*guard.RW) {
+	guard.LockExclusive(gs) // want `release closure returned by guard.LockExclusive is never consumed`
+}
+
+// HelperBlanked drops the release through the blank identifier.
+func HelperBlanked(ctx context.Context, gs []*guard.RW) {
+	_, _ = guard.AcquireShared(ctx, gs) // want `release closure returned by guard.AcquireShared is never consumed`
+}
+
+// HelperReturned transfers the obligation to the caller.
+func HelperReturned(gs []*guard.RW) func() {
+	return guard.LockExclusive(gs)
+}
+
+// scan mimics the GovernedScanner shape: the release rides inside the
+// returned value, whose Close is responsible for it.
+type scan struct{ unlock func() }
+
+// HelperStored stores the release closure in a literal: consumed.
+func HelperStored(gs []*guard.RW) *scan {
+	return &scan{unlock: guard.LockExclusive(gs)}
+}
+
+// HelperBoundStored binds the release first, then hands it to the scan.
+func HelperBoundStored(ctx context.Context, gs []*guard.RW) (*scan, error) {
+	release, err := guard.AcquireShared(ctx, gs)
+	if err != nil {
+		return nil, err
+	}
+	return &scan{unlock: release}, nil
+}
+
+// HelperMarked is exempt by marker.
+func HelperMarked(gs []*guard.RW) {
+	//lint:lockorder fixture: leak is intentional here
+	guard.LockExclusive(gs)
+}

@@ -1,0 +1,15 @@
+package scanleak_test
+
+import (
+	"testing"
+
+	"rankcube/internal/analysis/analysistest"
+	"rankcube/internal/analysis/scanleak"
+)
+
+func TestScanLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), scanleak.Analyzer,
+		"rankcube",
+		"scanuser",
+	)
+}

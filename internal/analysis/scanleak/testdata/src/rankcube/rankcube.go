@@ -1,0 +1,26 @@
+// Package rankcube stubs the repository root under its real import path:
+// just enough surface for the scanleak fixtures.
+package rankcube
+
+import "context"
+
+// GovernedScanner is the governed scan handle: it holds a serving slot
+// from OpenScan until Close.
+type GovernedScanner struct{}
+
+// Next advances the scan.
+func (s *GovernedScanner) Next() bool { return false }
+
+// Err reports a scan failure.
+func (s *GovernedScanner) Err() error { return nil }
+
+// Close releases the scan's serving slot.
+func (s *GovernedScanner) Close() error { return nil }
+
+// Cube opens scans.
+type Cube struct{}
+
+// OpenScan admits the caller and returns an open scan.
+func (c *Cube) OpenScan(ctx context.Context) (*GovernedScanner, error) {
+	return &GovernedScanner{}, nil
+}

@@ -1,0 +1,105 @@
+// Package scanuser exercises the scanleak analyzer: every open
+// GovernedScanner must reach Close on all paths, escape to a party that
+// will close it, or carry a justification marker.
+package scanuser
+
+import (
+	"context"
+
+	"rankcube"
+)
+
+func consume(sc *rankcube.GovernedScanner) {}
+
+// DeferClose is the canonical safe shape.
+func DeferClose(ctx context.Context, c *rankcube.Cube) error {
+	sc, err := c.OpenScan(ctx)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	for sc.Next() {
+	}
+	return sc.Err()
+}
+
+// DirectClose closes on the only path out: fine without a defer.
+func DirectClose(ctx context.Context, c *rankcube.Cube) {
+	sc, _ := c.OpenScan(ctx)
+	for sc.Next() {
+	}
+	sc.Close()
+}
+
+// ErrGuardReturn returns inside the binding's error check — the scanner is
+// nil exactly there, so the direct Close below stays sufficient.
+func ErrGuardReturn(ctx context.Context, c *rankcube.Cube) error {
+	sc, err := c.OpenScan(ctx)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	return sc.Close()
+}
+
+// LeakOnReturn has a live-scanner return path between open and Close.
+func LeakOnReturn(ctx context.Context, c *rankcube.Cube, skip bool) error {
+	sc, err := c.OpenScan(ctx) // want `open scan "sc" may leak: a return path between OpenScan and Close`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return sc.Close()
+}
+
+// NeverClosed uses the scanner and drops it.
+func NeverClosed(ctx context.Context, c *rankcube.Cube) int {
+	sc, _ := c.OpenScan(ctx) // want `open scan "sc" never reaches Close`
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	return n
+}
+
+// Discarded drops the open scan on the floor.
+func Discarded(ctx context.Context, c *rankcube.Cube) {
+	c.OpenScan(ctx) // want `open scan is discarded without Close`
+}
+
+// Blanked binds the scanner to the blank identifier.
+func Blanked(ctx context.Context, c *rankcube.Cube) {
+	_, _ = c.OpenScan(ctx) // want `open scan is assigned to the blank identifier`
+}
+
+// EscapesReturn transfers the Close obligation to the caller.
+func EscapesReturn(ctx context.Context, c *rankcube.Cube) (*rankcube.GovernedScanner, error) {
+	sc, err := c.OpenScan(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// EscapesClosure hands the scanner to a cleanup closure.
+func EscapesClosure(ctx context.Context, c *rankcube.Cube) func() {
+	sc, _ := c.OpenScan(ctx)
+	return func() { sc.Close() }
+}
+
+// EscapesArg passes the scanner along.
+func EscapesArg(ctx context.Context, c *rankcube.Cube) {
+	sc, _ := c.OpenScan(ctx)
+	consume(sc)
+}
+
+// Marked carries a justification.
+func Marked(ctx context.Context, c *rankcube.Cube) {
+	//lint:scanleak fixture: the process exits right after this call
+	c.OpenScan(ctx)
+}

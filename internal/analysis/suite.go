@@ -2,12 +2,16 @@ package analysis
 
 import (
 	"sort"
+	"time"
 
+	"rankcube/internal/analysis/atomicmix"
 	"rankcube/internal/analysis/ctxflow"
 	"rankcube/internal/analysis/errwrap"
 	"rankcube/internal/analysis/framework"
 	"rankcube/internal/analysis/governedio"
+	"rankcube/internal/analysis/lockorder"
 	"rankcube/internal/analysis/rawpanic"
+	"rankcube/internal/analysis/scanleak"
 )
 
 // Suite returns the rankvet analyzers in reporting order.
@@ -17,27 +21,41 @@ func Suite() []*framework.Analyzer {
 		ctxflow.Analyzer,
 		governedio.Analyzer,
 		errwrap.Analyzer,
+		lockorder.Analyzer,
+		scanleak.Analyzer,
+		atomicmix.Analyzer,
 	}
 }
 
+// Timing is one analyzer's share of a Run, for the driver's -stats output.
+type Timing struct {
+	Analyzer string
+	Duration time.Duration
+	Findings int
+}
+
 // Run applies every analyzer in the suite to each package and returns the
-// aggregated diagnostics sorted by source position.
-func Run(pkgs []*framework.Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+// aggregated diagnostics sorted by source position, plus per-analyzer
+// timings. pkgs must be in dependency order (as Loader.Load returns them):
+// each analyzer gets a private fact store and visits the packages in that
+// order, so facts it exports while analyzing a dependency are visible when
+// it reaches the dependents.
+func Run(pkgs []*framework.Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, []Timing, error) {
 	var diags []framework.Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &framework.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			pass.Report = func(d framework.Diagnostic) { diags = append(diags, d) }
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i].Analyzer = a.Name
+		facts := framework.NewFactStore()
+		start := time.Now()
+		for _, pkg := range pkgs {
+			n := len(diags)
+			pass := framework.NewPass(a, pkg, facts, func(d framework.Diagnostic) { diags = append(diags, d) })
 			if err := a.Run(pass); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
+			timings[i].Findings += len(diags) - n
 		}
+		timings[i].Duration = time.Since(start)
 	}
 	if len(pkgs) > 0 {
 		fset := pkgs[0].Fset
@@ -52,5 +70,5 @@ func Run(pkgs []*framework.Package, analyzers []*framework.Analyzer) ([]framewor
 			return pi.Column < pj.Column
 		})
 	}
-	return diags, nil
+	return diags, timings, nil
 }

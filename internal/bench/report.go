@@ -46,6 +46,7 @@ type Config struct {
 	// Context, when non-nil, bounds the run: cancellation stops a workload
 	// between queries and, through the query governor, within a query at
 	// block-read granularity. Partial aggregates are kept.
+	//lint:ctxfield options-struct carrier: Config is consumed once at Run entry, not retained past it
 	Context context.Context
 }
 

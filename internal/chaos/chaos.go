@@ -145,12 +145,47 @@ type run struct {
 	// bypass them entirely and rely on the engines' own serving locks.
 	sigMu, gridMu sync.RWMutex
 
-	rep Report
+	tal tally
 	// violation latches the first violation description.
 	violation atomic.Pointer[string]
 
 	card int
 	f    rankcube.Func
+}
+
+// tally holds the run's concurrent counters as typed atomics: a typed
+// atomic cannot be accessed non-atomically at all, so the storm goroutines
+// cannot race the fault controller on them by construction. Run
+// materializes the plain Report after the workers join.
+type tally struct {
+	queries, succeeded, checked, mismatches     atomic.Int64
+	overloaded, canceled, degradable            atomic.Int64
+	internal, untyped                           atomic.Int64
+	inserts, deletes, repartitions, maintFaults atomic.Int64
+	faultRounds, repairs, readmitted            atomic.Int64
+}
+
+// report snapshots the tally into a plain Report. Only sound after the
+// goroutines updating the tally have joined.
+func (t *tally) report() Report {
+	return Report{
+		Queries:      t.queries.Load(),
+		Succeeded:    t.succeeded.Load(),
+		Checked:      t.checked.Load(),
+		Mismatches:   t.mismatches.Load(),
+		Overloaded:   t.overloaded.Load(),
+		Canceled:     t.canceled.Load(),
+		Degradable:   t.degradable.Load(),
+		Internal:     t.internal.Load(),
+		Untyped:      t.untyped.Load(),
+		Inserts:      t.inserts.Load(),
+		Deletes:      t.deletes.Load(),
+		Repartitions: t.repartitions.Load(),
+		MaintFaults:  t.maintFaults.Load(),
+		FaultRounds:  t.faultRounds.Load(),
+		Repairs:      t.repairs.Load(),
+		Readmitted:   t.readmitted.Load(),
+	}
 }
 
 func (r *run) violate(format string, args ...any) {
@@ -198,10 +233,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}()
 	wg.Wait()
 
+	rep := r.tal.report()
 	if v := r.violation.Load(); v != nil {
-		r.rep.FirstViolation = *v
+		rep.FirstViolation = *v
 	}
-	return &r.rep, ctx.Err()
+	return &rep, ctx.Err()
 }
 
 // storm is one worker's seeded workload loop. Role by worker index:
@@ -284,9 +320,9 @@ func (r *run) checkedQuery(ctx context.Context, q querier, cond rankcube.Cond, k
 	if !r.record(berr, true) {
 		return
 	}
-	atomic.AddInt64(&r.rep.Checked, 1)
+	r.tal.checked.Add(1)
 	if !scoresEqual(got, want) {
-		atomic.AddInt64(&r.rep.Mismatches, 1)
+		r.tal.mismatches.Add(1)
 		r.violate("%s crosscheck: cond=%v k=%d cube=%v baseline=%v", q.name(), cond, k, got, want)
 	}
 }
@@ -297,7 +333,7 @@ func (r *run) mutateSig(ctx context.Context, rng *rand.Rand) {
 			r.recordMaint("sig delete", err)
 			return
 		}
-		atomic.AddInt64(&r.rep.Deletes, 1)
+		r.tal.deletes.Add(1)
 		return
 	}
 	sel := []int32{int32(rng.Intn(r.card)), int32(rng.Intn(r.card))}
@@ -306,7 +342,7 @@ func (r *run) mutateSig(ctx context.Context, rng *rand.Rand) {
 		r.recordMaint("sig insert", err)
 		return
 	}
-	atomic.AddInt64(&r.rep.Inserts, 1)
+	r.tal.inserts.Add(1)
 }
 
 // recordMaint classifies a failed maintenance op. Maintenance cannot degrade
@@ -318,12 +354,12 @@ func (r *run) recordMaint(op string, err error) {
 	switch {
 	case errors.Is(err, rankcube.ErrPageCorrupt), errors.Is(err, rankcube.ErrReadFailed),
 		errors.Is(err, rankcube.ErrStructureUnavailable), errors.Is(err, rankcube.ErrCanceled):
-		atomic.AddInt64(&r.rep.MaintFaults, 1)
+		r.tal.maintFaults.Add(1)
 	case errors.Is(err, rankcube.ErrInternal):
-		atomic.AddInt64(&r.rep.Internal, 1)
+		r.tal.internal.Add(1)
 		r.violate("%s: contained panic: %v", op, err)
 	default:
-		atomic.AddInt64(&r.rep.Untyped, 1)
+		r.tal.untyped.Add(1)
 		r.violate("%s: untyped outcome: %v", op, err)
 	}
 }
@@ -332,16 +368,16 @@ func (r *run) mutateGrid(rng *rand.Rand, i int) {
 	switch rng.Intn(4) {
 	case 0:
 		r.grid.Delete(rankcube.TID(rng.Intn(r.cfg.Tuples)))
-		atomic.AddInt64(&r.rep.Deletes, 1)
+		r.tal.deletes.Add(1)
 	case 1:
 		if i%7 == 6 {
 			r.grid.Repartition()
-			atomic.AddInt64(&r.rep.Repartitions, 1)
+			r.tal.repartitions.Add(1)
 		}
 	default:
 		sel := []int32{int32(rng.Intn(r.card)), int32(rng.Intn(r.card))}
 		r.grid.Insert(sel, []float64{rng.Float64(), rng.Float64()})
-		atomic.AddInt64(&r.rep.Inserts, 1)
+		r.tal.inserts.Add(1)
 	}
 }
 
@@ -350,28 +386,28 @@ func (r *run) mutateGrid(rng *rand.Rand, i int) {
 // failure is a violation unless it is a benign interruption (overload or the
 // run deadline) — the baseline path has no cube structures to rot.
 func (r *run) record(err error, isBaseline bool) bool {
-	atomic.AddInt64(&r.rep.Queries, 1)
+	r.tal.queries.Add(1)
 	switch {
 	case err == nil:
-		atomic.AddInt64(&r.rep.Succeeded, 1)
+		r.tal.succeeded.Add(1)
 		return true
 	case errors.Is(err, rankcube.ErrOverloaded):
-		atomic.AddInt64(&r.rep.Overloaded, 1)
+		r.tal.overloaded.Add(1)
 	case errors.Is(err, rankcube.ErrCanceled):
-		atomic.AddInt64(&r.rep.Canceled, 1)
+		r.tal.canceled.Add(1)
 	case errors.Is(err, rankcube.ErrInternal):
-		atomic.AddInt64(&r.rep.Internal, 1)
+		r.tal.internal.Add(1)
 		r.violate("contained panic: %v", err)
 	case errors.Is(err, rankcube.ErrPageCorrupt), errors.Is(err, rankcube.ErrReadFailed),
 		errors.Is(err, rankcube.ErrStructureUnavailable), errors.Is(err, rankcube.ErrBudgetExceeded),
 		errors.Is(err, rankcube.ErrInvalidArgument):
-		atomic.AddInt64(&r.rep.Degradable, 1)
+		r.tal.degradable.Add(1)
 		if isBaseline {
-			atomic.AddInt64(&r.rep.Untyped, 1)
+			r.tal.untyped.Add(1)
 			r.violate("baseline scan faulted: %v", err)
 		}
 	default:
-		atomic.AddInt64(&r.rep.Untyped, 1)
+		r.tal.untyped.Add(1)
 		r.violate("untyped outcome: %v", err)
 	}
 	return false
@@ -397,7 +433,7 @@ func (r *run) faultLoop(ctx context.Context) {
 
 func (r *run) faultRound(ctx context.Context, rng *rand.Rand, stores []*pager.Store,
 	repair func(context.Context) ([]rankcube.StoreRepair, error), q querier) {
-	atomic.AddInt64(&r.rep.FaultRounds, 1)
+	r.tal.faultRounds.Add(1)
 	rot := &pager.ScriptedFaults{CorruptAll: true}
 	for _, st := range stores {
 		st.SetFaultInjector(rot)
@@ -409,9 +445,9 @@ func (r *run) faultRound(ctx context.Context, rng *rand.Rand, stores []*pager.St
 	if r.record(err, false) {
 		want, berr := q.baseline(ctx, cond, r.f, 5)
 		if r.record(berr, true) {
-			atomic.AddInt64(&r.rep.Checked, 1)
+			r.tal.checked.Add(1)
 			if !scoresEqual(got, want) {
-				atomic.AddInt64(&r.rep.Mismatches, 1)
+				r.tal.mismatches.Add(1)
 				r.violate("%s degraded crosscheck: cond=%v cube=%v baseline=%v", q.name(), cond, got, want)
 			}
 		}
@@ -426,13 +462,13 @@ func (r *run) faultRound(ctx context.Context, rng *rand.Rand, stores []*pager.St
 		reports, err := repair(ctx)
 		if err != nil && rankcube.RepairError(err) {
 			r.violate("repair probe hard-failed with no fault injected: %v", err)
-			atomic.AddInt64(&r.rep.Untyped, 1)
+			r.tal.untyped.Add(1)
 			return
 		}
 		done, readmitted := true, false
 		for _, rep := range reports {
 			if rep.Rebuilt {
-				atomic.AddInt64(&r.rep.Repairs, 1)
+				r.tal.repairs.Add(1)
 			}
 			if rep.Readmitted {
 				readmitted = true
@@ -442,7 +478,7 @@ func (r *run) faultRound(ctx context.Context, rng *rand.Rand, stores []*pager.St
 			}
 		}
 		if readmitted {
-			atomic.AddInt64(&r.rep.Readmitted, 1)
+			r.tal.readmitted.Add(1)
 		}
 		if done {
 			return

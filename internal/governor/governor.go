@@ -32,6 +32,7 @@ type Limits struct {
 // Governor watches one query's execution. It is not safe for concurrent
 // use; each query owns one governor, matching stats.Counters' contract.
 type Governor struct {
+	//lint:ctxfield per-query carrier: one governor serves exactly one query, so the stash cannot outlive its caller's ctx
 	ctx    context.Context
 	lim    Limits
 	blocks int64

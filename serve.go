@@ -177,20 +177,27 @@ func (s *SignatureCube) Repair(ctx context.Context) ([]StoreRepair, error) {
 	st := s.c.Store()
 	rep := StoreRepair{Kind: st.Kind()}
 
+	// The verification/rebuild span runs in its own frame so the release is
+	// deferred: VerifyPages and RebuildStore read through the pager and can
+	// abort on a storage fault, and a panic escaping a held lock would wedge
+	// the cube.
 	ctl := s.c.Ctl()
-	ctl.Lock()
-	bad := st.VerifyPages()
-	rep.CorruptPages = len(bad)
-	if len(bad) > 0 || st.Quarantined() {
-		rep.Rebuilt = true
-		rep.RebuiltPages = s.c.RebuildStore()
-		obs.Default().RecordRepair(st.Kind(), rep.RebuiltPages)
-	}
-	if st.Quarantined() && len(st.VerifyPages()) == 0 {
-		st.EnterHalfOpen()
-	}
-	needProbe := st.State() == pager.StateHalfOpen
-	ctl.Unlock()
+	var needProbe bool
+	func() {
+		ctl.Lock()
+		defer ctl.Unlock()
+		bad := st.VerifyPages()
+		rep.CorruptPages = len(bad)
+		if len(bad) > 0 || st.Quarantined() {
+			rep.Rebuilt = true
+			rep.RebuiltPages = s.c.RebuildStore()
+			obs.Default().RecordRepair(st.Kind(), rep.RebuiltPages)
+		}
+		if st.Quarantined() && len(st.VerifyPages()) == 0 {
+			st.EnterHalfOpen()
+		}
+		needProbe = st.State() == pager.StateHalfOpen
+	}()
 
 	var probeErr error
 	if needProbe {
@@ -239,30 +246,34 @@ func (g *GridCube) Repair(ctx context.Context) ([]StoreRepair, error) {
 	var reports []StoreRepair
 	var probes []probe
 
+	// As in (*SignatureCube).Repair: the rebuild span gets its own frame so
+	// the release is deferred against aborts inside VerifyPages/RebuildCuboid.
 	ctl := g.c.Ctl()
-	ctl.Lock()
-	for _, cb := range g.c.Cuboids() {
-		st := cb.Store()
-		rep := StoreRepair{Kind: st.Kind()}
-		bad := st.VerifyPages()
-		rep.CorruptPages = len(bad)
-		if len(bad) > 0 || st.Quarantined() {
-			rep.Rebuilt = true
-			rep.RebuiltPages = g.c.RebuildCuboid(cb)
-			obs.Default().RecordRepair(st.Kind(), rep.RebuiltPages)
+	func() {
+		ctl.Lock()
+		defer ctl.Unlock()
+		for _, cb := range g.c.Cuboids() {
+			st := cb.Store()
+			rep := StoreRepair{Kind: st.Kind()}
+			bad := st.VerifyPages()
+			rep.CorruptPages = len(bad)
+			if len(bad) > 0 || st.Quarantined() {
+				rep.Rebuilt = true
+				rep.RebuiltPages = g.c.RebuildCuboid(cb)
+				obs.Default().RecordRepair(st.Kind(), rep.RebuiltPages)
+			}
+			if st.Quarantined() && len(st.VerifyPages()) == 0 {
+				st.EnterHalfOpen()
+			}
+			if st.State() == pager.StateHalfOpen {
+				probes = append(probes, probe{st: st, dims: cb.Dims(), idx: len(reports)})
+			}
+			rep.State = st.State().String()
+			reports = append(reports, rep)
 		}
-		if st.Quarantined() && len(st.VerifyPages()) == 0 {
-			st.EnterHalfOpen()
-		}
-		if st.State() == pager.StateHalfOpen {
-			probes = append(probes, probe{st: st, dims: cb.Dims(), idx: len(reports)})
-		}
-		rep.State = st.State().String()
-		reports = append(reports, rep)
-	}
-	bt := g.c.Blocks().Store()
-	reports = append(reports, StoreRepair{Kind: bt.Kind(), State: bt.State().String()})
-	ctl.Unlock()
+		bt := g.c.Blocks().Store()
+		reports = append(reports, StoreRepair{Kind: bt.Kind(), State: bt.State().String()})
+	}()
 
 	var probeErr error
 	f := sumAllRanks(g.c.Table().Schema().R())
